@@ -1,0 +1,156 @@
+//! Active-learning primitives shared by AL-SVM and DSM.
+//!
+//! Both baselines drive exploration by *uncertainty sampling*: each round
+//! the unlabeled pool tuple closest to the current decision boundary is
+//! selected for labelling (§II, "select the tuples that are most difficult
+//! to discriminate"). The pool is subsampled per round, which is the
+//! standard scalability device in these systems.
+
+use crate::svm::Svm;
+use rand::{Rng, RngExt};
+
+/// Labels pool tuples on demand. The index refers to the explorer's pool;
+/// implementations may label from the feature vector (plain closures) or
+/// look up side-channel data by index (e.g. raw un-normalized tuples when
+/// the pool holds normalized features).
+pub trait PoolOracle {
+    /// True when pool tuple `index` (features `row`) is interesting.
+    fn label(&self, index: usize, row: &[f64]) -> bool;
+}
+
+impl<F: Fn(usize, &[f64]) -> bool> PoolOracle for F {
+    fn label(&self, index: usize, row: &[f64]) -> bool {
+        self(index, row)
+    }
+}
+
+/// A growing set of labeled examples, tracking which pool indices are used.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledSet {
+    /// Feature vectors of labeled tuples.
+    pub x: Vec<Vec<f64>>,
+    /// Labels (`true` = interesting).
+    pub y: Vec<bool>,
+    used: Vec<usize>,
+}
+
+impl LabeledSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of labels spent.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when nothing is labeled.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// True when both classes are present (an SVM can be trained).
+    pub fn has_both_classes(&self) -> bool {
+        self.y.iter().any(|&v| v) && self.y.iter().any(|&v| !v)
+    }
+
+    /// True when pool index `i` has already been labeled.
+    pub fn is_used(&self, i: usize) -> bool {
+        self.used.contains(&i)
+    }
+
+    /// Record a labeled pool tuple.
+    pub fn add(&mut self, pool_index: usize, features: Vec<f64>, label: bool) {
+        self.x.push(features);
+        self.y.push(label);
+        self.used.push(pool_index);
+    }
+
+    /// Count of positive labels.
+    pub fn n_positive(&self) -> usize {
+        self.y.iter().filter(|&&v| v).count()
+    }
+}
+
+/// Draw up to `count` distinct unlabeled pool indices uniformly at random.
+pub fn sample_unlabeled<R: Rng + ?Sized>(
+    rng: &mut R,
+    pool_len: usize,
+    labeled: &LabeledSet,
+    count: usize,
+) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..pool_len).filter(|&i| !labeled.is_used(i)).collect();
+    // Partial Fisher-Yates.
+    let take = count.min(idx.len());
+    for i in 0..take {
+        let j = rng.random_range(i..idx.len());
+        idx.swap(i, j);
+    }
+    idx.truncate(take);
+    idx
+}
+
+/// Among `candidates` (pool indices), pick the one whose |decision value| is
+/// smallest — the classic uncertainty-sampling criterion. Returns `None` for
+/// an empty candidate list.
+pub fn most_uncertain(
+    svm: &Svm,
+    pool: &[Vec<f64>],
+    candidates: &[usize],
+) -> Option<usize> {
+    candidates
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            let da = svm.decision(&pool[a]).abs();
+            let db = svm.decision(&pool[b]).abs();
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svm::SvmConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labeled_set_tracks_classes_and_usage() {
+        let mut set = LabeledSet::new();
+        assert!(set.is_empty());
+        assert!(!set.has_both_classes());
+        set.add(3, vec![1.0], true);
+        assert!(!set.has_both_classes());
+        set.add(5, vec![2.0], false);
+        assert!(set.has_both_classes());
+        assert!(set.is_used(3));
+        assert!(!set.is_used(4));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.n_positive(), 1);
+    }
+
+    #[test]
+    fn sample_unlabeled_skips_used_indices() {
+        let mut set = LabeledSet::new();
+        set.add(0, vec![0.0], true);
+        set.add(1, vec![0.0], false);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = sample_unlabeled(&mut rng, 5, &set, 10);
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(&0) && !s.contains(&1));
+    }
+
+    #[test]
+    fn most_uncertain_picks_boundary_point() {
+        // Boundary is x=0-ish for symmetric data.
+        let x = vec![vec![-2.0], vec![-1.0], vec![1.0], vec![2.0]];
+        let y = vec![false, false, true, true];
+        let svm = Svm::train(&x, &y, &SvmConfig::default()).unwrap();
+        let pool = vec![vec![-3.0], vec![0.05], vec![3.0]];
+        let pick = most_uncertain(&svm, &pool, &[0, 1, 2]).unwrap();
+        assert_eq!(pick, 1);
+        assert!(most_uncertain(&svm, &pool, &[]).is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! AL-SVM: active-learning SVM exploration over the user-interest space.
+//!
+//! The AIDE-lineage baseline (§VIII-A): starting from a small random seed
+//! sample, iteratively (1) train an SVM on all labels so far, (2) select the
+//! most uncertain unlabeled tuple, (3) ask the (simulated) user for its
+//! label — until the labelling budget `B` is exhausted. The final SVM is the
+//! exploration result: tuples with positive decision values form the
+//! predicted user-interest region.
+
+use crate::active::{most_uncertain, sample_unlabeled, LabeledSet, PoolOracle};
+use crate::svm::{Svm, SvmConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// AL-SVM configuration.
+#[derive(Debug, Clone)]
+pub struct AlSvmExplorer {
+    /// SVM hyper-parameters (retrained every round).
+    pub svm: SvmConfig,
+    /// Random labels drawn before uncertainty sampling can start.
+    pub seed_labels: usize,
+    /// Pool subsample size evaluated per selection round.
+    pub candidates_per_round: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AlSvmExplorer {
+    fn default() -> Self {
+        Self {
+            svm: SvmConfig::default(),
+            seed_labels: 6,
+            candidates_per_round: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// The trained exploration result.
+#[derive(Debug, Clone)]
+pub struct AlSvmModel {
+    svm: Option<Svm>,
+    /// Constant fallback when no SVM could be trained (single-class labels):
+    /// predict the observed class.
+    fallback: bool,
+    labels_spent: usize,
+}
+
+impl AlSvmModel {
+    /// Predict interestingness of a tuple.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        match &self.svm {
+            Some(svm) => svm.predict(x),
+            None => self.fallback,
+        }
+    }
+
+    /// Signed decision value (0 for the constant fallback).
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        match &self.svm {
+            Some(svm) => svm.decision(x),
+            None => {
+                if self.fallback {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+        }
+    }
+
+    /// Number of user labels consumed.
+    pub fn labels_spent(&self) -> usize {
+        self.labels_spent
+    }
+}
+
+impl AlSvmExplorer {
+    /// Run the exploration loop: `pool` is the candidate tuple set (feature
+    /// vectors), `oracle` the simulated user, `budget` the label budget `B`.
+    pub fn explore(
+        &self,
+        pool: &[Vec<f64>],
+        oracle: &dyn PoolOracle,
+        budget: usize,
+    ) -> AlSvmModel {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut labeled = LabeledSet::new();
+
+        // Seed phase: random tuples until both classes appear (or the seed
+        // allotment is spent).
+        let seed_budget = self.seed_labels.min(budget);
+        for i in sample_unlabeled(&mut rng, pool.len(), &labeled, seed_budget) {
+            let y = oracle.label(i, &pool[i]);
+            labeled.add(i, pool[i].clone(), y);
+        }
+
+        // Active rounds.
+        while labeled.len() < budget {
+            let candidates =
+                sample_unlabeled(&mut rng, pool.len(), &labeled, self.candidates_per_round);
+            if candidates.is_empty() {
+                break;
+            }
+            let next = if labeled.has_both_classes() {
+                let svm_cfg = SvmConfig {
+                    seed: self.seed ^ labeled.len() as u64,
+                    ..self.svm.clone()
+                };
+                match Svm::train(&labeled.x, &labeled.y, &svm_cfg) {
+                    Some(svm) => most_uncertain(&svm, pool, &candidates)
+                        .expect("candidates is non-empty"),
+                    None => candidates[0],
+                }
+            } else {
+                // Still single-class: keep sampling randomly.
+                candidates[0]
+            };
+            let y = oracle.label(next, &pool[next]);
+            labeled.add(next, pool[next].clone(), y);
+        }
+
+        let svm = if labeled.has_both_classes() {
+            Svm::train(&labeled.x, &labeled.y, &self.svm)
+        } else {
+            None
+        };
+        let fallback = labeled.n_positive() * 2 > labeled.len();
+        AlSvmModel {
+            svm,
+            fallback,
+            labels_spent: labeled.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pool over a 2D grid; interest = x < 0.5 && y < 0.5 (a corner box).
+    fn grid_pool() -> Vec<Vec<f64>> {
+        let mut pool = Vec::new();
+        for i in 0..30 {
+            for j in 0..30 {
+                pool.push(vec![i as f64 / 30.0, j as f64 / 30.0]);
+            }
+        }
+        pool
+    }
+
+    fn corner_oracle(_: usize, x: &[f64]) -> bool {
+        x[0] < 0.5 && x[1] < 0.5
+    }
+
+    #[test]
+    fn learns_corner_box_within_budget() {
+        let explorer = AlSvmExplorer::default();
+        let model = explorer.explore(&grid_pool(), &corner_oracle, 40);
+        assert_eq!(model.labels_spent(), 40);
+        // Evaluate accuracy on the pool.
+        let pool = grid_pool();
+        let correct = pool
+            .iter()
+            .filter(|p| model.predict(p) == corner_oracle(0, p))
+            .count();
+        let acc = correct as f64 / pool.len() as f64;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn respects_budget() {
+        let explorer = AlSvmExplorer::default();
+        let model = explorer.explore(&grid_pool(), &corner_oracle, 10);
+        assert!(model.labels_spent() <= 10);
+    }
+
+    #[test]
+    fn single_class_pool_falls_back_to_constant() {
+        let pool = vec![vec![0.0], vec![0.1], vec![0.2]];
+        let all_negative = |_: usize, _: &[f64]| false;
+        let explorer = AlSvmExplorer::default();
+        let model = explorer.explore(&pool, &all_negative, 3);
+        assert!(!model.predict(&[0.05]));
+        assert!(model.decision(&[0.05]) < 0.0);
+
+        let all_positive = |_: usize, _: &[f64]| true;
+        let model = explorer.explore(&pool, &all_positive, 3);
+        assert!(model.predict(&[0.05]));
+    }
+
+    #[test]
+    fn more_budget_does_not_hurt_much() {
+        // Accuracy at B=60 should be at least that of B=12 minus slack.
+        let explorer = AlSvmExplorer::default();
+        let pool = grid_pool();
+        let acc = |b: usize| {
+            let m = explorer.explore(&pool, &corner_oracle, b);
+            pool.iter().filter(|p| m.predict(p) == corner_oracle(0, p)).count() as f64
+                / pool.len() as f64
+        };
+        assert!(acc(60) + 0.05 >= acc(12), "b60 {} b12 {}", acc(60), acc(12));
+    }
+}

@@ -1,0 +1,314 @@
+//! DSM: the factorized dual-space model explorer.
+//!
+//! DSM (Huang et al., PVLDB 2018) is the paper's strongest baseline under
+//! its two assumptions — each subspace's interest region is **convex**, and
+//! the full-space region is their **conjunction**. Per subspace it maintains
+//! a [`lte_geom::polytope::DualSpaceModel`] (certain-positive polytope +
+//! certain-negative cones); a kernel SVM handles the residual uncertain
+//! region. The polytope model both *prunes* active-learning candidates
+//! (certain tuples are never worth labelling) and provides the three-set F1
+//! lower bound used as a convergence indicator.
+//!
+//! Prediction of a full tuple is conjunctive: any certainly-negative
+//! subspace ⇒ not interesting; all certainly-positive ⇒ interesting;
+//! otherwise fall back to the SVM trained in the full space.
+
+use crate::active::{most_uncertain, sample_unlabeled, LabeledSet, PoolOracle};
+use crate::svm::{Svm, SvmConfig};
+use lte_data::subspace::Subspace;
+use lte_geom::polytope::{DualSpaceModel, ThreeSetLabel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// DSM explorer configuration.
+#[derive(Debug, Clone)]
+pub struct DsmExplorer {
+    /// Subspace decomposition of the user-interest space.
+    pub subspaces: Vec<Subspace>,
+    /// SVM hyper-parameters for the uncertain region.
+    pub svm: SvmConfig,
+    /// Random labels drawn before uncertainty sampling starts.
+    pub seed_labels: usize,
+    /// Pool subsample size evaluated per selection round.
+    pub candidates_per_round: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DsmExplorer {
+    /// Explorer with default hyper-parameters over the given decomposition.
+    pub fn new(subspaces: Vec<Subspace>) -> Self {
+        Self {
+            subspaces,
+            svm: SvmConfig::default(),
+            seed_labels: 6,
+            candidates_per_round: 100,
+            seed: 0,
+        }
+    }
+
+    /// Run the exploration loop and return the fitted model.
+    pub fn explore(
+        &self,
+        pool: &[Vec<f64>],
+        oracle: &dyn PoolOracle,
+        budget: usize,
+    ) -> DsmModel {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut labeled = LabeledSet::new();
+        let mut duals: Vec<DualSpaceModel> =
+            self.subspaces.iter().map(|_| DualSpaceModel::new()).collect();
+
+        let absorb = |labeled: &mut LabeledSet,
+                          duals: &mut Vec<DualSpaceModel>,
+                          i: usize,
+                          row: &[f64],
+                          y: bool| {
+            labeled.add(i, row.to_vec(), y);
+            // Conjunctivity: a positive tuple is positive in *every*
+            // subspace; a negative tuple's per-subspace labels are unknown,
+            // so only positive labels feed the per-subspace polytopes and
+            // negatives feed the cones of subspaces where the tuple is
+            // outside the current positive hull (the factorized-DSM rule).
+            for (dual, sub) in duals.iter_mut().zip(&self.subspaces) {
+                let proj = sub.project_row(row);
+                if y {
+                    dual.add_labeled(&proj, true);
+                } else {
+                    dual.add_labeled(&proj, false);
+                }
+            }
+        };
+
+        // Seed phase.
+        let seed_budget = self.seed_labels.min(budget);
+        for i in sample_unlabeled(&mut rng, pool.len(), &labeled, seed_budget) {
+            let y = oracle.label(i, &pool[i]);
+            absorb(&mut labeled, &mut duals, i, &pool[i], y);
+        }
+
+        // Active rounds with polytope pruning.
+        while labeled.len() < budget {
+            let candidates =
+                sample_unlabeled(&mut rng, pool.len(), &labeled, self.candidates_per_round);
+            if candidates.is_empty() {
+                break;
+            }
+            // Prune candidates already decided by the dual-space model: their
+            // labels are implied, so labelling them wastes budget.
+            let uncertain: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    matches!(
+                        classify_conjunctive(&duals, &self.subspaces, &pool[i]),
+                        ThreeSetLabel::Uncertain
+                    )
+                })
+                .collect();
+            let effective = if uncertain.is_empty() {
+                &candidates
+            } else {
+                &uncertain
+            };
+
+            let next = if labeled.has_both_classes() {
+                let svm_cfg = SvmConfig {
+                    seed: self.seed ^ labeled.len() as u64,
+                    ..self.svm.clone()
+                };
+                match Svm::train(&labeled.x, &labeled.y, &svm_cfg) {
+                    Some(svm) => {
+                        most_uncertain(&svm, pool, effective).expect("non-empty candidates")
+                    }
+                    None => effective[0],
+                }
+            } else {
+                effective[0]
+            };
+            let y = oracle.label(next, &pool[next]);
+            absorb(&mut labeled, &mut duals, next, &pool[next], y);
+        }
+
+        let svm = if labeled.has_both_classes() {
+            Svm::train(&labeled.x, &labeled.y, &self.svm)
+        } else {
+            None
+        };
+        DsmModel {
+            duals,
+            subspaces: self.subspaces.clone(),
+            svm,
+            fallback: labeled.n_positive() * 2 > labeled.len(),
+            labels_spent: labeled.len(),
+        }
+    }
+}
+
+/// Conjunctive three-set classification across subspaces.
+fn classify_conjunctive(
+    duals: &[DualSpaceModel],
+    subspaces: &[Subspace],
+    row: &[f64],
+) -> ThreeSetLabel {
+    let mut all_positive = true;
+    for (dual, sub) in duals.iter().zip(subspaces) {
+        let proj = sub.project_row(row);
+        match dual.classify(&proj) {
+            ThreeSetLabel::Negative => return ThreeSetLabel::Negative,
+            ThreeSetLabel::Positive => {}
+            ThreeSetLabel::Uncertain => all_positive = false,
+        }
+    }
+    if all_positive {
+        ThreeSetLabel::Positive
+    } else {
+        ThreeSetLabel::Uncertain
+    }
+}
+
+/// A fitted DSM exploration result.
+#[derive(Debug, Clone)]
+pub struct DsmModel {
+    duals: Vec<DualSpaceModel>,
+    subspaces: Vec<Subspace>,
+    svm: Option<Svm>,
+    fallback: bool,
+    labels_spent: usize,
+}
+
+impl DsmModel {
+    /// Predict interestingness of a full-space tuple.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        match self.three_set(row) {
+            ThreeSetLabel::Positive => true,
+            ThreeSetLabel::Negative => false,
+            ThreeSetLabel::Uncertain => match &self.svm {
+                Some(svm) => svm.predict(row),
+                None => self.fallback,
+            },
+        }
+    }
+
+    /// Three-set classification of a full-space tuple.
+    pub fn three_set(&self, row: &[f64]) -> ThreeSetLabel {
+        classify_conjunctive(&self.duals, &self.subspaces, row)
+    }
+
+    /// Three-set-metric F1 lower bound `|D⁺| / (|D⁺| + |Dᵘ|)` over a pool —
+    /// DSM's convergence indicator.
+    pub fn f1_lower_bound(&self, pool: &[Vec<f64>]) -> f64 {
+        let mut np = 0usize;
+        let mut nu = 0usize;
+        for row in pool {
+            match self.three_set(row) {
+                ThreeSetLabel::Positive => np += 1,
+                ThreeSetLabel::Uncertain => nu += 1,
+                ThreeSetLabel::Negative => {}
+            }
+        }
+        if np + nu == 0 {
+            0.0
+        } else {
+            np as f64 / (np + nu) as f64
+        }
+    }
+
+    /// Number of user labels consumed.
+    pub fn labels_spent(&self) -> usize {
+        self.labels_spent
+    }
+
+    /// Per-subspace dual-space models (for inspection / tests).
+    pub fn duals(&self) -> &[DualSpaceModel] {
+        &self.duals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4D grid pool; interest = conjunction of two convex 2D boxes.
+    fn pool_4d() -> Vec<Vec<f64>> {
+        let mut pool = Vec::new();
+        for a in 0..8 {
+            for b in 0..8 {
+                for c in 0..8 {
+                    for d in 0..8 {
+                        pool.push(vec![
+                            a as f64 / 8.0,
+                            b as f64 / 8.0,
+                            c as f64 / 8.0,
+                            d as f64 / 8.0,
+                        ]);
+                    }
+                }
+            }
+        }
+        pool
+    }
+
+    fn truth(row: &[f64]) -> bool {
+        let in_sub1 = row[0] >= 0.2 && row[0] <= 0.7 && row[1] >= 0.2 && row[1] <= 0.7;
+        let in_sub2 = row[2] >= 0.3 && row[2] <= 0.8 && row[3] >= 0.3 && row[3] <= 0.8;
+        in_sub1 && in_sub2
+    }
+
+    fn oracle_fn() -> impl Fn(usize, &[f64]) -> bool {
+        |_, row| truth(row)
+    }
+
+    fn subspaces() -> Vec<Subspace> {
+        vec![Subspace::new(vec![0, 1]), Subspace::new(vec![2, 3])]
+    }
+
+    #[test]
+    fn learns_conjunctive_convex_region() {
+        let explorer = DsmExplorer::new(subspaces());
+        let pool = pool_4d();
+        let model = explorer.explore(&pool, &oracle_fn(), 50);
+        let correct = pool
+            .iter()
+            .filter(|p| model.predict(p) == truth(p))
+            .count();
+        let acc = correct as f64 / pool.len() as f64;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn positive_region_never_misfires() {
+        // Points the dual-space model calls certainly-positive must actually
+        // be positive (DSM's key guarantee under convexity).
+        let explorer = DsmExplorer::new(subspaces());
+        let pool = pool_4d();
+        let model = explorer.explore(&pool, &oracle_fn(), 60);
+        for p in &pool {
+            if model.three_set(p) == ThreeSetLabel::Positive {
+                assert!(truth(p), "certain-positive wrong at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn f1_lower_bound_grows_with_budget() {
+        let explorer = DsmExplorer::new(subspaces());
+        let pool = pool_4d();
+        let small = explorer.explore(&pool, &oracle_fn(), 12);
+        let large = explorer.explore(&pool, &oracle_fn(), 80);
+        let eval: Vec<Vec<f64>> = pool.iter().take(800).cloned().collect();
+        assert!(
+            large.f1_lower_bound(&eval) + 0.05 >= small.f1_lower_bound(&eval),
+            "small {} large {}",
+            small.f1_lower_bound(&eval),
+            large.f1_lower_bound(&eval)
+        );
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let explorer = DsmExplorer::new(subspaces());
+        let model = explorer.explore(&pool_4d(), &oracle_fn(), 17);
+        assert!(model.labels_spent() <= 17);
+    }
+}

@@ -1,0 +1,72 @@
+//! SVM kernels.
+
+/// Kernel functions for the SMO SVM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Dot-product kernel.
+    Linear,
+    /// Gaussian RBF `exp(-γ·‖a−b‖²)`.
+    Rbf {
+        /// Bandwidth parameter γ.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    /// RBF kernel with the common `γ = 1/dim` default.
+    pub fn rbf_for_dim(dim: usize) -> Self {
+        Kernel::Rbf {
+            gamma: 1.0 / dim.max(1) as f64,
+        }
+    }
+
+    /// Evaluate the kernel.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        match *self {
+            Kernel::Linear => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = a
+                    .iter()
+                    .zip(b)
+                    .map(|(x, y)| {
+                        let d = x - y;
+                        d * d
+                    })
+                    .sum();
+                (-gamma * d2).exp()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_dot_product() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn rbf_is_one_at_zero_distance_and_decays() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        assert!((k.eval(&[1.0, 1.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let near = k.eval(&[0.0, 0.0], &[0.1, 0.0]);
+        let far = k.eval(&[0.0, 0.0], &[2.0, 0.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn rbf_for_dim_scales_gamma() {
+        if let Kernel::Rbf { gamma } = Kernel::rbf_for_dim(4) {
+            assert_eq!(gamma, 0.25);
+        } else {
+            panic!("expected RBF");
+        }
+        // Zero dim guards against division by zero.
+        assert!(matches!(Kernel::rbf_for_dim(0), Kernel::Rbf { .. }));
+    }
+}

@@ -1,0 +1,318 @@
+//! Soft-margin SVM trained with simplified SMO (Platt).
+//!
+//! Training sets in explore-by-example are tiny (bounded by the labelling
+//! budget, ≤ ~200 examples), so the simplified sequential-minimal-
+//! optimization algorithm — pick a KKT-violating α, pair it with a random
+//! second α, solve the 2-variable subproblem analytically — converges in
+//! milliseconds and needs no external solver.
+
+use crate::kernel::Kernel;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// SVM hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SvmConfig {
+    /// Soft-margin penalty for negative examples.
+    pub c: f64,
+    /// Positive-class penalty multiplier: positives use `c · pos_weight`.
+    /// Values > 1 counter class imbalance (few positive labels in a small
+    /// interest region) by making positive misclassification costlier.
+    pub pos_weight: f64,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Consecutive full passes without updates before stopping.
+    pub max_passes: usize,
+    /// Hard cap on SMO iterations.
+    pub max_iter: usize,
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// RNG seed for partner selection.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self {
+            c: 10.0,
+            pos_weight: 1.0,
+            tol: 1e-3,
+            max_passes: 5,
+            max_iter: 10_000,
+            kernel: Kernel::Linear,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained SVM model.
+#[derive(Debug, Clone)]
+pub struct Svm {
+    support_x: Vec<Vec<f64>>,
+    support_alpha_y: Vec<f64>,
+    bias: f64,
+    kernel: Kernel,
+}
+
+impl Svm {
+    /// Train on `(x, y)` with boolean labels (`true` = positive class).
+    ///
+    /// Returns `None` when training is impossible: empty input or a single
+    /// class (callers fall back to a constant prediction).
+    pub fn train(x: &[Vec<f64>], y: &[bool], config: &SvmConfig) -> Option<Svm> {
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        let n = x.len();
+        if n == 0 || y.iter().all(|&v| v) || y.iter().all(|&v| !v) {
+            return None;
+        }
+        let ys: Vec<f64> = y.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Precompute the kernel matrix (n ≤ a few hundred).
+        let mut k = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = config.kernel.eval(&x[i], &x[j]);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+        }
+
+        let mut alpha = vec![0.0; n];
+        let mut b = 0.0;
+        // Per-class box constraint: C_i = C·pos_weight for positives.
+        let cap: Vec<f64> = ys
+            .iter()
+            .map(|&y| {
+                if y > 0.0 {
+                    config.c * config.pos_weight.max(f64::EPSILON)
+                } else {
+                    config.c
+                }
+            })
+            .collect();
+        let f = |alpha: &[f64], b: f64, k: &[f64], i: usize| -> f64 {
+            let mut s = b;
+            for j in 0..n {
+                if alpha[j] != 0.0 {
+                    s += alpha[j] * ys[j] * k[j * n + i];
+                }
+            }
+            s
+        };
+
+        let mut passes = 0;
+        let mut iter = 0;
+        while passes < config.max_passes && iter < config.max_iter {
+            let mut changed = 0;
+            for i in 0..n {
+                iter += 1;
+                let ei = f(&alpha, b, &k, i) - ys[i];
+                let violates = (ys[i] * ei < -config.tol && alpha[i] < cap[i])
+                    || (ys[i] * ei > config.tol && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                // Random partner j != i.
+                let mut j = rng.random_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = f(&alpha, b, &k, j) - ys[j];
+
+                let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                // Box constraints with per-class caps: α_j ∈ [lo, hi] along
+                // the line preserving Σ α·y.
+                let (lo, hi) = if ys[i] != ys[j] {
+                    let gamma = aj_old - ai_old;
+                    (gamma.max(0.0), (cap[i] + gamma).min(cap[j]))
+                } else {
+                    let gamma = ai_old + aj_old;
+                    ((gamma - cap[i]).max(0.0), gamma.min(cap[j]))
+                };
+                if (hi - lo).abs() < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * k[i * n + j] - k[i * n + i] - k[j * n + j];
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj_new = aj_old - ys[j] * (ei - ej) / eta;
+                aj_new = aj_new.clamp(lo, hi);
+                if (aj_new - aj_old).abs() < 1e-7 {
+                    continue;
+                }
+                let ai_new = ai_old + ys[i] * ys[j] * (aj_old - aj_new);
+                alpha[i] = ai_new;
+                alpha[j] = aj_new;
+
+                // Bias update (standard simplified-SMO rules).
+                let b1 = b - ei
+                    - ys[i] * (ai_new - ai_old) * k[i * n + i]
+                    - ys[j] * (aj_new - aj_old) * k[i * n + j];
+                let b2 = b - ej
+                    - ys[i] * (ai_new - ai_old) * k[i * n + j]
+                    - ys[j] * (aj_new - aj_old) * k[j * n + j];
+                b = if ai_new > 0.0 && ai_new < cap[i] {
+                    b1
+                } else if aj_new > 0.0 && aj_new < cap[j] {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+
+        // Keep only support vectors.
+        let mut support_x = Vec::new();
+        let mut support_alpha_y = Vec::new();
+        for i in 0..n {
+            if alpha[i] > 1e-9 {
+                support_x.push(x[i].clone());
+                support_alpha_y.push(alpha[i] * ys[i]);
+            }
+        }
+        Some(Svm {
+            support_x,
+            support_alpha_y,
+            bias: b,
+            kernel: config.kernel,
+        })
+    }
+
+    /// Signed decision value; positive means the positive class.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        let mut s = self.bias;
+        for (sv, ay) in self.support_x.iter().zip(&self.support_alpha_y) {
+            s += ay * self.kernel.eval(sv, x);
+        }
+        s
+    }
+
+    /// Class prediction.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.decision(x) > 0.0
+    }
+
+    /// Number of support vectors retained.
+    pub fn n_support(&self) -> usize {
+        self.support_x.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable() -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.1;
+            x.push(vec![t, t + 2.0]); // above the diagonal
+            y.push(true);
+            x.push(vec![t, t - 2.0]); // below the diagonal
+            y.push(false);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separates_linear_data() {
+        let (x, y) = linearly_separable();
+        let svm = Svm::train(&x, &y, &SvmConfig::default()).unwrap();
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(svm.predict(xi), yi);
+        }
+        assert!(svm.predict(&[0.0, 5.0]));
+        assert!(!svm.predict(&[0.0, -5.0]));
+    }
+
+    #[test]
+    fn rbf_solves_xor() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        ];
+        let y = vec![true, true, false, false];
+        let config = SvmConfig {
+            kernel: Kernel::Rbf { gamma: 2.0 },
+            c: 100.0,
+            ..SvmConfig::default()
+        };
+        let svm = Svm::train(&x, &y, &config).unwrap();
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(svm.predict(xi), yi, "at {xi:?}");
+        }
+    }
+
+    #[test]
+    fn single_class_returns_none() {
+        let x = vec![vec![0.0], vec![1.0]];
+        assert!(Svm::train(&x, &[true, true], &SvmConfig::default()).is_none());
+        assert!(Svm::train(&x, &[false, false], &SvmConfig::default()).is_none());
+        assert!(Svm::train(&[], &[], &SvmConfig::default()).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = linearly_separable();
+        let a = Svm::train(&x, &y, &SvmConfig::default()).unwrap();
+        let b = Svm::train(&x, &y, &SvmConfig::default()).unwrap();
+        assert_eq!(a.decision(&[0.5, 0.5]), b.decision(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn decision_magnitude_grows_with_margin() {
+        let (x, y) = linearly_separable();
+        let svm = Svm::train(&x, &y, &SvmConfig::default()).unwrap();
+        let near = svm.decision(&[0.0, 0.1]).abs();
+        let far = svm.decision(&[0.0, 10.0]).abs();
+        assert!(far > near);
+    }
+
+    #[test]
+    fn pos_weight_recovers_minority_positives() {
+        // 3 positives vs 27 negatives with overlap: the unweighted SVM can
+        // afford to give up the positives; a weighted one cannot.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..27 {
+            x.push(vec![-0.2 - 0.05 * (i % 9) as f64, (i / 9) as f64 * 0.1]);
+            y.push(false);
+        }
+        for i in 0..3 {
+            x.push(vec![0.05, i as f64 * 0.1]);
+            y.push(true);
+        }
+        let weighted = SvmConfig {
+            c: 1.0,
+            pos_weight: 9.0,
+            ..SvmConfig::default()
+        };
+        let svm = Svm::train(&x, &y, &weighted).unwrap();
+        let recalled = x
+            .iter()
+            .zip(&y)
+            .filter(|(_, &yi)| yi)
+            .filter(|(xi, _)| svm.predict(xi))
+            .count();
+        assert_eq!(recalled, 3, "weighted SVM must recall all positives");
+    }
+
+    #[test]
+    fn support_vectors_are_subset() {
+        let (x, y) = linearly_separable();
+        let svm = Svm::train(&x, &y, &SvmConfig::default()).unwrap();
+        assert!(svm.n_support() >= 2);
+        assert!(svm.n_support() <= x.len());
+    }
+}

@@ -1,0 +1,292 @@
+//! CART decision trees — the classifier behind AIDE (Table I).
+//!
+//! AIDE (Dimitriadou et al., SIGMOD 2014 / TKDE 2016) characterizes
+//! user-interest regions with *decision-tree* classifiers whose axis-
+//! aligned splits translate directly into query predicates. This is a
+//! standard CART implementation: greedy binary splits minimizing Gini
+//! impurity, depth/size-limited, with majority-vote leaves.
+
+/// Decision-tree hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_split: usize,
+    /// Minimum impurity decrease for a split to be kept.
+    pub min_gain: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 8,
+            min_split: 4,
+            min_gain: 1e-6,
+        }
+    }
+}
+
+/// A fitted binary decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Majority label.
+        label: bool,
+        /// Positive-class fraction at the leaf (confidence).
+        p_positive: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the `< threshold` child.
+        left: usize,
+        /// Index of the `>= threshold` child.
+        right: usize,
+    },
+}
+
+fn gini(pos: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+impl DecisionTree {
+    /// Fit a tree on `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when `x` is empty or lengths mismatch.
+    pub fn fit(x: &[Vec<f64>], y: &[bool], config: &TreeConfig) -> DecisionTree {
+        assert!(!x.is_empty(), "decision tree needs at least one example");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        let mut nodes = Vec::new();
+        let indices: Vec<usize> = (0..x.len()).collect();
+        build(x, y, &indices, config, 0, &mut nodes);
+        DecisionTree { nodes }
+    }
+
+    /// Majority-label prediction.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        let (label, _) = self.walk(row);
+        label
+    }
+
+    /// Positive-class probability estimate (leaf frequency).
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        let (_, p) = self.walk(row);
+        p
+    }
+
+    fn walk(&self, row: &[f64]) -> (bool, f64) {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { label, p_positive } => return (*label, *p_positive),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (1 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+}
+
+/// Recursively build the subtree over `indices`; returns the node index.
+fn build(
+    x: &[Vec<f64>],
+    y: &[bool],
+    indices: &[usize],
+    config: &TreeConfig,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let pos = indices.iter().filter(|&&i| y[i]).count();
+    let total = indices.len();
+    let make_leaf = |nodes: &mut Vec<Node>| {
+        let node = Node::Leaf {
+            label: pos * 2 > total,
+            p_positive: if total == 0 {
+                0.0
+            } else {
+                pos as f64 / total as f64
+            },
+        };
+        nodes.push(node);
+        nodes.len() - 1
+    };
+
+    if depth >= config.max_depth
+        || total < config.min_split
+        || pos == 0
+        || pos == total
+    {
+        return make_leaf(nodes);
+    }
+
+    // Best split across all features: sort per feature, scan thresholds.
+    let n_features = x[indices[0]].len();
+    let parent_impurity = gini(pos, total);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    #[allow(clippy::needless_range_loop)] // f indexes every row's feature, not one slice
+    for f in 0..n_features {
+        let mut order: Vec<usize> = indices.to_vec();
+        order.sort_by(|&a, &b| {
+            x[a][f]
+                .partial_cmp(&x[b][f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut left_pos = 0usize;
+        for (k, &i) in order.iter().enumerate().take(total - 1) {
+            if y[i] {
+                left_pos += 1;
+            }
+            // Can't split between equal values.
+            if x[order[k]][f] == x[order[k + 1]][f] {
+                continue;
+            }
+            let left_n = k + 1;
+            let right_n = total - left_n;
+            let right_pos = pos - left_pos;
+            let weighted = (left_n as f64 * gini(left_pos, left_n)
+                + right_n as f64 * gini(right_pos, right_n))
+                / total as f64;
+            let gain = parent_impurity - weighted;
+            if gain > config.min_gain && best.is_none_or(|(_, _, g)| gain > g) {
+                let threshold = (x[order[k]][f] + x[order[k + 1]][f]) / 2.0;
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _)) = best else {
+        return make_leaf(nodes);
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| x[i][feature] < threshold);
+
+    // Reserve this node's slot, then build children.
+    nodes.push(Node::Leaf {
+        label: false,
+        p_positive: 0.0,
+    });
+    let me = nodes.len() - 1;
+    let left = build(x, y, &left_idx, config, depth + 1, nodes);
+    let right = build(x, y, &right_idx, config, depth + 1, nodes);
+    nodes[me] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
+    me
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2D box truth: positive iff both coordinates in [0.3, 0.7].
+    fn box_data(n_side: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                let a = i as f64 / n_side as f64;
+                let b = j as f64 / n_side as f64;
+                x.push(vec![a, b]);
+                y.push((0.3..=0.7).contains(&a) && (0.3..=0.7).contains(&b));
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fits_axis_aligned_box_perfectly() {
+        let (x, y) = box_data(20);
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| tree.predict(xi) == yi)
+            .count();
+        assert_eq!(correct, x.len(), "boxes are CART's best case");
+        assert!(tree.depth() <= 8);
+    }
+
+    #[test]
+    fn pure_labels_give_single_leaf() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let tree = DecisionTree::fit(&x, &[true, true, true], &TreeConfig::default());
+        assert_eq!(tree.n_nodes(), 1);
+        assert!(tree.predict(&[5.0]));
+        assert_eq!(tree.predict_proba(&[5.0]), 1.0);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let (x, y) = box_data(16);
+        let cfg = TreeConfig {
+            max_depth: 2,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&x, &y, &cfg);
+        assert!(tree.depth() <= 3, "depth {} > limit", tree.depth());
+    }
+
+    #[test]
+    fn proba_reflects_leaf_purity() {
+        // One mixed region that cannot be split further (identical xs).
+        let x = vec![vec![1.0], vec![1.0], vec![1.0], vec![1.0]];
+        let y = vec![true, true, true, false];
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        assert!(tree.predict(&[1.0]));
+        assert!((tree.predict_proba(&[1.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_duplicate_feature_values() {
+        let x = vec![vec![0.0, 1.0], vec![0.0, 2.0], vec![0.0, 3.0], vec![0.0, 4.0]];
+        let y = vec![false, false, true, true];
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        // Must split on feature 1 (feature 0 is constant).
+        assert!(!tree.predict(&[0.0, 1.5]));
+        assert!(tree.predict(&[0.0, 3.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one example")]
+    fn empty_input_panics() {
+        DecisionTree::fit(&[], &[], &TreeConfig::default());
+    }
+}

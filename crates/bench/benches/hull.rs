@@ -1,0 +1,48 @@
+//! Micro-benchmark: UIS geometry (§V-C) — convex hulls of ψ-nearest center
+//! sets and membership tests, the O(ψ log ψ) / O(α log ψ) costs the paper
+//! quotes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lte_geom::{convex_hull, ConvexPolygon, Point2, Region, RegionUnion};
+use std::hint::black_box;
+
+fn scatter(n: usize) -> Vec<Point2> {
+    (0..n)
+        .map(|i| {
+            Point2::new(
+                (i as f64 * 0.7371).sin() * 10.0,
+                (i as f64 * 1.3113).cos() * 10.0,
+            )
+        })
+        .collect()
+}
+
+fn bench_hull(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convex_hull");
+    for psi in [5usize, 20, 50] {
+        let pts = scatter(psi);
+        group.bench_with_input(BenchmarkId::new("psi", psi), &pts, |b, pts| {
+            b.iter(|| convex_hull(black_box(pts)));
+        });
+    }
+    group.finish();
+
+    // α=4 union membership (the UIS contains() of meta-task labelling).
+    let uis = RegionUnion::new(
+        (0..4)
+            .map(|i| {
+                let pts: Vec<Point2> = scatter(20)
+                    .into_iter()
+                    .map(|p| Point2::new(p.x + i as f64 * 5.0, p.y))
+                    .collect();
+                Region::Polygon(ConvexPolygon::from_points(&pts))
+            })
+            .collect(),
+    );
+    c.bench_function("uis_contains_alpha4_psi20", |b| {
+        b.iter(|| uis.contains(black_box(&[3.0, 1.0])));
+    });
+}
+
+criterion_group!(benches, bench_hull);
+criterion_main!(benches);

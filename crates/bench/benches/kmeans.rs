@@ -1,0 +1,40 @@
+//! Micro-benchmark: the clustering step of meta-task generation (§V-B).
+//!
+//! Three k-means rounds (ku/ks/kq) plus the two proximity matrices — the
+//! per-subspace offline cost that precedes any meta-task.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lte_cluster::{KMeans, ProximityMatrix};
+use lte_data::generator::generate_sdss;
+use std::hint::black_box;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let table = generate_sdss(20_000, 0);
+    let sub = table.project(&[0, 1]).expect("projection");
+    let mut rng = lte_data::rng::seeded(1);
+    let rows = sub.sample(&mut rng, 1_000).to_rows();
+
+    let mut group = c.benchmark_group("kmeans");
+    for k in [25usize, 40, 100] {
+        group.bench_with_input(BenchmarkId::new("fit_1k_rows", k), &k, |b, &k| {
+            b.iter(|| KMeans::new(k, 7).fit(black_box(&rows)));
+        });
+    }
+    group.finish();
+
+    let cu = KMeans::new(100, 7).fit(&rows).centers;
+    let cs = KMeans::new(25, 8).fit(&rows).centers;
+    c.bench_function("proximity_pu_100x100", |b| {
+        b.iter(|| ProximityMatrix::within(black_box(&cu)));
+    });
+    c.bench_function("proximity_ps_25x100", |b| {
+        b.iter(|| ProximityMatrix::between(black_box(&cs), black_box(&cu)));
+    });
+    let pu = ProximityMatrix::within(&cu);
+    c.bench_function("knn_psi20_of_100", |b| {
+        b.iter(|| pu.k_nearest(black_box(3), 20, true));
+    });
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

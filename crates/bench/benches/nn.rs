@@ -1,0 +1,36 @@
+//! Micro-benchmark: the UIS classifier's forward/backward passes (§VI-A) at
+//! paper-scale widths (ku=100, Ne=100).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lte_core::classifier::{ClassifierConfig, Grads, UisClassifier};
+use lte_data::rng::seeded;
+use std::hint::black_box;
+
+fn bench_nn(c: &mut Criterion) {
+    let cfg = ClassifierConfig {
+        ku: 100,
+        nr: 24,
+        ne: 100,
+        clf_hidden: 64,
+        use_conversion: true,
+    };
+    let mut rng = seeded(0);
+    let clf = UisClassifier::new(cfg, &mut rng);
+    let v_r: Vec<f64> = (0..100).map(|i| (i % 3 == 0) as u8 as f64).collect();
+    let v_t: Vec<f64> = (0..24).map(|i| 0.05 * i as f64).collect();
+
+    c.bench_function("classifier_forward_ku100_ne100", |b| {
+        b.iter(|| clf.forward(black_box(&v_r), black_box(&v_t)).logit);
+    });
+
+    c.bench_function("classifier_forward_backward", |b| {
+        b.iter(|| {
+            let mut grads = Grads::zeros_like(&clf);
+            clf.loss_backward(black_box(&v_r), black_box(&(v_t.clone(), true)), &mut grads);
+            grads.g_clf[0]
+        });
+    });
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

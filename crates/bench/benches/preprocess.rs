@@ -1,0 +1,35 @@
+//! Micro-benchmark: tabular preprocessing (§VII-A) — GMM / Jenks fitting on
+//! the ≤1% sample and per-tuple encoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lte_data::generator::{generate_car, generate_sdss};
+use lte_preprocess::{EncoderConfig, Gmm, JenksBreaks, TableEncoder};
+use std::hint::black_box;
+
+fn bench_preprocess(c: &mut Criterion) {
+    let sdss = generate_sdss(20_000, 0);
+    let values: Vec<f64> = sdss.column_by_name("ra").expect("ra column")[..1000].to_vec();
+
+    c.bench_function("gmm_fit_1k_values_k5", |b| {
+        b.iter(|| Gmm::fit(black_box(&values), 5));
+    });
+    c.bench_function("jenks_fit_1k_values_k5", |b| {
+        b.iter(|| JenksBreaks::fit(black_box(&values), 5));
+    });
+
+    let gmm = Gmm::fit(&values, 5);
+    c.bench_function("gmm_predict_component", |b| {
+        b.iter(|| gmm.predict_component(black_box(150.0)));
+    });
+
+    let car = generate_car(10_000, 0);
+    let mut rng = lte_data::rng::seeded(3);
+    let encoder = TableEncoder::fit(&car, &EncoderConfig::default(), &mut rng);
+    let row = car.row(17).expect("row");
+    c.bench_function("encode_row_car_5attrs", |b| {
+        b.iter(|| encoder.encode_row(black_box(&row)));
+    });
+}
+
+criterion_group!(benches, bench_preprocess);
+criterion_main!(benches);

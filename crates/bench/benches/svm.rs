@@ -1,0 +1,52 @@
+//! Micro-benchmark: baseline costs — SMO SVM training at budget-sized
+//! training sets and the DSM polytope classification step. DSM's per-round
+//! retraining is what makes its online cost grow with `B` in Fig. 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lte_baselines::kernel::Kernel;
+use lte_baselines::svm::{Svm, SvmConfig};
+use lte_data::rng::seeded;
+use lte_geom::polytope::DualSpaceModel;
+use rand::RngExt;
+use std::hint::black_box;
+
+fn labeled_set(n: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+    let mut rng = seeded(5);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a: f64 = rng.random::<f64>();
+        let b: f64 = rng.random::<f64>();
+        x.push(vec![a, b]);
+        y.push(a + b > 1.0);
+    }
+    (x, y)
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smo_train");
+    for n in [30usize, 105, 205] {
+        let (x, y) = labeled_set(n);
+        let cfg = SvmConfig {
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            ..SvmConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("labels", n), &n, |b, _| {
+            b.iter(|| Svm::train(black_box(&x), black_box(&y), &cfg));
+        });
+    }
+    group.finish();
+
+    // DSM dual-space classification of one tuple.
+    let mut dual = DualSpaceModel::new();
+    let (x, y) = labeled_set(40);
+    for (xi, &yi) in x.iter().zip(&y) {
+        dual.add_labeled(xi, yi);
+    }
+    c.bench_function("dsm_three_set_classify", |b| {
+        b.iter(|| dual.classify(black_box(&[0.4, 0.7])));
+    });
+}
+
+criterion_group!(benches, bench_svm);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Minimal command-line option parsing shared by all experiment binaries.
+//!
+//! Flags (all optional):
+//! * `--paper` — run at the paper's full scale (slow!),
+//! * `--seed <u64>` — master seed (default 42),
+//! * `--reps <n>` — repetitions (test UIRs) per configuration,
+//! * `--out <dir>` — also write CSV files into `<dir>`,
+//! * positional arguments — experiment-specific subcommands.
+
+use std::path::PathBuf;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Full paper scale instead of the reduced default.
+    pub paper: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Repetitions per configuration (0 = scale default).
+    pub reps: usize,
+    /// Optional CSV output directory.
+    pub out: Option<PathBuf>,
+    /// Remaining positional arguments (subcommands).
+    pub positional: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            paper: false,
+            seed: 42,
+            reps: 0,
+            out: None,
+            positional: Vec::new(),
+        }
+    }
+}
+
+impl Options {
+    /// Parse from an argument iterator (excluding the program name).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--paper" => opts.paper = true,
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+                }
+                "--reps" => {
+                    let v = it.next().ok_or("--reps needs a value")?;
+                    opts.reps = v.parse().map_err(|_| format!("bad reps `{v}`"))?;
+                }
+                "--out" => {
+                    let v = it.next().ok_or("--out needs a value")?;
+                    opts.out = Some(PathBuf::from(v));
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag `{flag}`"));
+                }
+                positional => opts.positional.push(positional.to_string()),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parse from the process arguments, exiting with a message on error.
+    pub fn parse() -> Options {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("argument error: {e}");
+                eprintln!("usage: [subcommand] [--paper] [--seed N] [--reps N] [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// First positional argument, if any.
+    pub fn subcommand(&self) -> Option<&str> {
+        self.positional.first().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert!(!o.paper);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.reps, 0);
+        assert!(o.out.is_none());
+        assert!(o.subcommand().is_none());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse(&["accuracy", "--paper", "--seed", "7", "--reps", "5", "--out", "/tmp/x"])
+            .unwrap();
+        assert!(o.paper);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.reps, 5);
+        assert_eq!(o.out.unwrap().to_str().unwrap(), "/tmp/x");
+        assert_eq!(o.positional, vec!["accuracy"]);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "abc"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+    }
+}

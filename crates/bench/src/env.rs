@@ -1,0 +1,169 @@
+//! Experiment environments at two scales.
+//!
+//! The paper's full-scale evaluation (100K-tuple SDSS, 50K-tuple CAR,
+//! |TM| up to 20 000, 2 500 test UIRs) takes hours; the default *reduced*
+//! scale shrinks dataset size, cluster counts, and task counts
+//! proportionally so every structural relationship — and every
+//! qualitative comparison — is preserved while a full experiment binary
+//! finishes in minutes on two cores. `--paper` restores §VIII-A's values.
+
+use lte_core::config::LteConfig;
+use lte_core::uis::UisMode;
+use lte_data::table::Table;
+use lte_data::Dataset;
+
+/// Which scale to run at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Default: minutes on a laptop.
+    Reduced,
+    /// §VIII-A's full parameters.
+    Paper,
+}
+
+impl Scale {
+    /// From the `--paper` flag.
+    pub fn from_flag(paper: bool) -> Self {
+        if paper {
+            Scale::Paper
+        } else {
+            Scale::Reduced
+        }
+    }
+}
+
+/// Datasets plus scale-appropriate configuration.
+pub struct BenchEnv {
+    /// Which scale this environment was built at.
+    pub scale: Scale,
+    /// SDSS-like dataset.
+    pub sdss: Dataset,
+    /// CAR-like dataset.
+    pub car: Dataset,
+    /// Master seed.
+    pub seed: u64,
+    /// Default repetitions (test UIRs per configuration).
+    pub reps: usize,
+    /// Evaluation-pool size (tuples scored per exploration).
+    pub eval_size: usize,
+}
+
+impl BenchEnv {
+    /// Build datasets for a scale.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let (sdss_n, car_n, reps, eval_size) = match scale {
+            Scale::Reduced => (20_000, 10_000, 3, 1_500),
+            Scale::Paper => (100_000, 50_000, 10, 5_000),
+        };
+        Self {
+            scale,
+            sdss: Dataset::sdss(sdss_n, seed),
+            car: Dataset::car(car_n, seed ^ 0xCA7),
+            seed,
+            reps,
+            eval_size,
+        }
+    }
+
+    /// Build from CLI options (honouring `--reps` override).
+    pub fn from_options(opts: &crate::cli::Options) -> Self {
+        let mut env = Self::new(Scale::from_flag(opts.paper), opts.seed);
+        if opts.reps > 0 {
+            env.reps = opts.reps;
+        }
+        env
+    }
+
+    /// Base LTE configuration for this scale, re-targeted at budget `B`.
+    pub fn lte_config(&self, budget: usize) -> LteConfig {
+        let base = match self.scale {
+            Scale::Reduced => LteConfig::reduced(),
+            Scale::Paper => LteConfig::paper(),
+        };
+        base.with_budget(budget)
+    }
+
+    /// Scale a paper-quoted ψ (defined against `ku = 100`) to this
+    /// environment's `ku`, flooring at 3 so every hull keeps positive area
+    /// (2-point "hulls" are segments, i.e. zero-selectivity regions).
+    pub fn scale_psi(&self, psi_paper: usize) -> usize {
+        let ku = self.lte_config(30).task.ku;
+        ((psi_paper * ku + 50) / 100).max(3)
+    }
+
+    /// The paper's §VIII-B convex test mode (α=1, ψ=50) at this scale.
+    pub fn convex_mode(&self) -> UisMode {
+        UisMode::new(1, self.scale_psi(50))
+    }
+
+    /// The paper's §VIII-C generalized mode (α=4, ψ=20) at this scale.
+    pub fn general_mode(&self) -> UisMode {
+        UisMode::new(4, self.scale_psi(20))
+    }
+
+    /// Table III's benchmark modes M1–M7, ψ scaled to this environment.
+    pub fn paper_modes(&self) -> Vec<(String, UisMode)> {
+        UisMode::paper_modes()
+            .into_iter()
+            .map(|(name, m)| (name, UisMode::new(m.alpha, self.scale_psi(m.psi))))
+            .collect()
+    }
+
+    /// A dataset by name (`"sdss"` or `"car"`).
+    pub fn dataset(&self, name: &str) -> &Dataset {
+        match name {
+            "sdss" => &self.sdss,
+            "car" => &self.car,
+            other => panic!("unknown dataset `{other}`"),
+        }
+    }
+
+    /// The table behind a dataset name.
+    pub fn table(&self, name: &str) -> &Table {
+        &self.dataset(name).table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_env_has_smaller_datasets() {
+        let env = BenchEnv::new(Scale::Reduced, 1);
+        assert_eq!(env.sdss.n_rows(), 20_000);
+        assert_eq!(env.car.n_rows(), 10_000);
+        assert_eq!(env.reps, 3);
+    }
+
+    #[test]
+    fn psi_scaling_tracks_ku() {
+        let env = BenchEnv::new(Scale::Reduced, 1);
+        // Reduced ku = 40 → ψ=50 becomes 20, ψ=5 becomes 2.
+        assert_eq!(env.scale_psi(50), 20);
+        assert_eq!(env.scale_psi(5), 3);
+        assert_eq!(env.convex_mode(), UisMode::new(1, 20));
+        assert_eq!(env.general_mode(), UisMode::new(4, 8));
+    }
+
+    #[test]
+    fn modes_preserve_alpha() {
+        let env = BenchEnv::new(Scale::Reduced, 1);
+        let modes = env.paper_modes();
+        assert_eq!(modes.len(), 7);
+        assert_eq!(modes[4].1.alpha, 1);
+        assert_eq!(modes[0].1.alpha, 4);
+    }
+
+    #[test]
+    fn config_budget_is_applied() {
+        let env = BenchEnv::new(Scale::Reduced, 1);
+        assert_eq!(env.lte_config(55).budget(), 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        BenchEnv::new(Scale::Reduced, 1).dataset("mnist");
+    }
+}

@@ -1,0 +1,179 @@
+//! Figure 4: Learn-to-explore vs baselines on SDSS (§VIII-B).
+//!
+//! * **4(a)** Accuracy w.r.t. dimensionality: F1 at fixed `B = 30` for
+//!   |Du| ∈ {2, 4, 6, 8}; paper shape — every method degrades with
+//!   dimension, SVM-based methods (DSM, AL-SVM) fall off a cliff (≈ −75%
+//!   from 2D→8D) while NN-based methods stay within ≈ −40% and Meta* within
+//!   ≈ −18%.
+//! * **4(b)** Efficiency w.r.t. dimensionality: the smallest budget reaching
+//!   F1 ≥ 0.75 per method and dimension; paper shape — Meta* needs < 150
+//!   labels everywhere, DSM/AL-SVM exceed the cap at 6–8D.
+
+use crate::env::BenchEnv;
+use crate::report::{fmt3, Report};
+use crate::runner::TruthPolicy;
+use crate::runner::{
+    average_over_truths, build_cell, default_threads, parallel_map, run_alsvm, run_dsm, run_lte,
+};
+use lte_core::explore::Variant;
+use lte_data::rng::derive_seed;
+use std::path::Path;
+
+const DATASET: &str = "sdss";
+const TARGET_F1: f64 = 0.75;
+
+/// All methods of Fig. 4 in paper order.
+const METHODS: [&str; 5] = ["Meta*", "Meta", "Basic", "DSM", "AL-SVM"];
+
+fn run_method(
+    env: &BenchEnv,
+    cell: &crate::runner::Cell,
+    dims: usize,
+    budget: usize,
+    method: &str,
+    seed: u64,
+) -> f64 {
+    let mode = env.convex_mode();
+    average_over_truths(
+        &cell.pipeline,
+        mode,
+        TruthPolicy::default(),
+        &cell.pool,
+        env.reps,
+        seed,
+        |truth, s| match method {
+            "Meta*" => run_lte(&cell.pipeline, truth, &cell.pool, Variant::MetaStar, s).f1,
+            "Meta" => run_lte(&cell.pipeline, truth, &cell.pool, Variant::Meta, s).f1,
+            "Basic" => run_lte(&cell.pipeline, truth, &cell.pool, Variant::Basic, s).f1,
+            "DSM" => run_dsm(env.table(DATASET), dims, truth, &cell.pool, budget, s).f1,
+            "AL-SVM" => run_alsvm(env.table(DATASET), dims, truth, &cell.pool, budget, s).f1,
+            other => panic!("unknown method {other}"),
+        },
+    )
+}
+
+/// Fig. 4(a): F1 per dimension at B = 30.
+pub fn run_accuracy(env: &BenchEnv, out: Option<&Path>) {
+    let budget = 30;
+    let dim_grid = [2usize, 4, 6, 8];
+
+    let cells = parallel_map(dim_grid.to_vec(), default_threads(), |dims| {
+        (
+            dims,
+            build_cell(
+                env,
+                DATASET,
+                dims,
+                budget,
+                env.convex_mode(),
+                derive_seed(env.seed, dims as u64),
+            ),
+        )
+    });
+
+    let mut report = Report::new(
+        "Fig 4(a): accuracy vs dimensionality (SDSS, B=30)",
+        &["|Du|", "Meta*", "Meta", "Basic", "DSM", "AL-SVM"],
+    );
+    for (dims, cell) in &cells {
+        let f1s: Vec<f64> = METHODS
+            .iter()
+            .map(|m| {
+                run_method(
+                    env,
+                    cell,
+                    *dims,
+                    budget,
+                    m,
+                    derive_seed(env.seed, 40 + *dims as u64),
+                )
+            })
+            .collect();
+        let mut row = vec![format!("{dims}D")];
+        row.extend(f1s.iter().map(|&v| fmt3(v)));
+        report.push_row(row);
+    }
+    report.print();
+    if let Some(dir) = out {
+        let _ = report.write_csv(dir);
+    }
+}
+
+/// Fig. 4(b): label budget to reach F1 ≥ 0.75 per dimension.
+pub fn run_efficiency(env: &BenchEnv, out: Option<&Path>) {
+    let budgets: Vec<usize> = match env.scale {
+        crate::env::Scale::Reduced => vec![30, 80, 130, 180],
+        crate::env::Scale::Paper => vec![30, 55, 80, 105, 130, 155, 180, 205],
+    };
+    let cap = *budgets.last().expect("non-empty grid");
+    let dim_grid = [4usize, 6, 8];
+
+    let mut report = Report::new(
+        "Fig 4(b): label budget to reach F1>=0.75 (SDSS)",
+        &["|Du|", "Meta*", "Meta", "Basic", "DSM", "AL-SVM"],
+    );
+    for dims in dim_grid {
+        // LTE variants share a pipeline per budget; baselines only need a
+        // truth generator, so reuse the first cell's contexts for those.
+        let mut needed: Vec<Option<usize>> = vec![None; METHODS.len()];
+        for &budget in &budgets {
+            if needed.iter().all(Option::is_some) {
+                break;
+            }
+            let cell = build_cell(
+                env,
+                DATASET,
+                dims,
+                budget,
+                env.convex_mode(),
+                derive_seed(env.seed, 60 + dims as u64),
+            );
+            for (mi, method) in METHODS.iter().enumerate() {
+                if needed[mi].is_some() {
+                    continue;
+                }
+                let f1 = run_method(
+                    env,
+                    &cell,
+                    dims,
+                    budget,
+                    method,
+                    derive_seed(env.seed, 80 + dims as u64 + budget as u64),
+                );
+                if f1 >= TARGET_F1 {
+                    needed[mi] = Some(budget);
+                }
+            }
+        }
+        let mut row = vec![format!("{dims}D")];
+        row.extend(
+            needed
+                .iter()
+                .map(|n| n.map(|b| b.to_string()).unwrap_or(format!(">{cap}"))),
+        );
+        report.push_row(row);
+    }
+    report.print();
+    if let Some(dir) = out {
+        let _ = report.write_csv(dir);
+    }
+}
+
+/// Run both panels.
+pub fn run(env: &BenchEnv, out: Option<&Path>) {
+    run_accuracy(env, out);
+    run_efficiency(env, out);
+}
+
+/// Dispatch a CLI subcommand; unknown names list the options and exit.
+pub fn subcommand(env: &BenchEnv, out: Option<&Path>, sub: &str) {
+    match sub {
+        "accuracy" => run_accuracy(env, out),
+        "efficiency" => run_efficiency(env, out),
+        "all" => run(env, out),
+        other => {
+            eprintln!("unknown subcommand `{other}`; available: accuracy, efficiency, all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 5: accuracy w.r.t. budget `B` per dimensionality (SDSS, §VIII-B).
+//!
+//! Four panels (2/4/6/8D), F1 for DSM, Meta*, Meta, Basic as `B` grows.
+//! Paper shape: everyone improves with budget; DSM wins at 2D (its polytope
+//! optimization exactly fits convex+conjunctive truths) but collapses with
+//! dimensionality — at 8D, B=30 the paper reports Meta* ≈ 2.67× DSM.
+
+use crate::env::BenchEnv;
+use crate::report::{fmt3, Report};
+use crate::runner::TruthPolicy;
+use crate::runner::{
+    average_over_truths, build_cell, default_threads, parallel_map, run_dsm, run_lte, Cell,
+};
+use lte_core::explore::Variant;
+use lte_data::rng::derive_seed;
+use std::path::Path;
+
+/// Budget grid (paper plots 30..105).
+pub fn budget_grid(env: &BenchEnv) -> Vec<usize> {
+    match env.scale {
+        crate::env::Scale::Reduced => vec![30, 55, 80, 105],
+        crate::env::Scale::Paper => vec![30, 40, 50, 60, 70, 80, 90, 100],
+    }
+}
+
+/// Run the four panels.
+pub fn run(env: &BenchEnv, out: Option<&Path>) {
+    let budgets = budget_grid(env);
+    let dims_grid = [2usize, 4, 6, 8];
+
+    // Build all (dims, budget) pipelines in parallel.
+    let combos: Vec<(usize, usize)> = dims_grid
+        .iter()
+        .flat_map(|&d| budgets.iter().map(move |&b| (d, b)))
+        .collect();
+    let cells: Vec<((usize, usize), Cell)> =
+        parallel_map(combos, default_threads(), |(dims, budget)| {
+            let cell = build_cell(
+                env,
+                "sdss",
+                dims,
+                budget,
+                env.convex_mode(),
+                derive_seed(env.seed, (dims * 1000 + budget) as u64),
+            );
+            ((dims, budget), cell)
+        });
+
+    for dims in dims_grid {
+        let mut report = Report::new(
+            format!("Fig 5: accuracy vs budget (SDSS, {dims}D)"),
+            &["B", "DSM", "Meta*", "Meta", "Basic"],
+        );
+        for &budget in &budgets {
+            let cell = &cells
+                .iter()
+                .find(|((d, b), _)| *d == dims && *b == budget)
+                .expect("cell built")
+                .1;
+            let seed = derive_seed(env.seed, (dims * 77 + budget) as u64);
+            let mode = env.convex_mode();
+            let f1 = |variant: Option<Variant>| {
+                average_over_truths(&cell.pipeline, mode, TruthPolicy::default(), &cell.pool, env.reps, seed, |t, s| {
+                    match variant {
+                        Some(v) => run_lte(&cell.pipeline, t, &cell.pool, v, s).f1,
+                        None => run_dsm(env.table("sdss"), dims, t, &cell.pool, budget, s).f1,
+                    }
+                })
+            };
+            report.push_row(vec![
+                budget.to_string(),
+                fmt3(f1(None)),
+                fmt3(f1(Some(Variant::MetaStar))),
+                fmt3(f1(Some(Variant::Meta))),
+                fmt3(f1(Some(Variant::Basic))),
+            ]);
+        }
+        report.print();
+        if let Some(dir) = out {
+            let _ = report.write_csv(dir);
+        }
+    }
+}
+
+/// Dispatch a CLI subcommand; unknown names list the options and exit.
+pub fn subcommand(env: &BenchEnv, out: Option<&Path>, sub: &str) {
+    match sub {
+        "all" => run(env, out),
+        other => {
+            eprintln!("unknown subcommand `{other}`; available: all");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Scale;
+
+    #[test]
+    fn budget_grids_match_scales() {
+        let reduced = BenchEnv::new(Scale::Reduced, 1);
+        assert_eq!(budget_grid(&reduced), vec![30, 55, 80, 105]);
+        let paper = BenchEnv::new(Scale::Paper, 1);
+        let grid = budget_grid(&paper);
+        assert_eq!(grid.first(), Some(&30));
+        assert_eq!(grid.last(), Some(&100));
+        assert_eq!(grid.len(), 8);
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 6: online exploration runtime w.r.t. budget (SDSS, §VIII-B).
+//!
+//! Wall-clock seconds of the *online* phase for DSM and Meta* at 4D and 8D
+//! as the budget grows. Paper shape: DSM's cost grows roughly linearly in
+//! `B` (it retrains an SVM and re-evaluates polytopes every labelling
+//! round — ≈ 50–60 s at B=105 on their testbed) and grows with
+//! dimensionality, while Meta*'s cost is two orders of magnitude lower and
+//! nearly flat (0.127 s → 0.130 s from 4D to 8D): adaptation is a handful
+//! of local gradient steps regardless of budget spent.
+
+use crate::env::BenchEnv;
+use crate::report::{fmt_secs, Report};
+use crate::runner::TruthPolicy;
+use crate::runner::{average_over_truths, build_cell, run_dsm, run_lte};
+use lte_core::explore::Variant;
+use lte_data::rng::derive_seed;
+use std::path::Path;
+
+/// Run the runtime comparison.
+pub fn run(env: &BenchEnv, out: Option<&Path>) {
+    let budgets = crate::experiments::fig5::budget_grid(env);
+    let dims_grid = [4usize, 8];
+
+    let mut report = Report::new(
+        "Fig 6: online exploration runtime vs budget (SDSS)",
+        &["B", "DSM(4D)", "DSM(8D)", "Meta*(4D)", "Meta*(8D)"],
+    );
+    // Column-major collection: per dims, per budget, (dsm_secs, meta_secs).
+    let mut columns: Vec<Vec<(f64, f64)>> = Vec::new();
+    for &dims in &dims_grid {
+        let mut col = Vec::new();
+        for &budget in &budgets {
+            let cell = build_cell(
+                env,
+                "sdss",
+                dims,
+                budget,
+                env.convex_mode(),
+                derive_seed(env.seed, (600 + dims * 10 + budget) as u64),
+            );
+            let mode = env.convex_mode();
+            let seed = derive_seed(env.seed, (660 + dims + budget) as u64);
+            // Average seconds over truths (F1 ignored here).
+            let mut dsm_secs = 0.0;
+            let mut meta_secs = 0.0;
+            let reps = env.reps;
+            average_over_truths(&cell.pipeline, mode, TruthPolicy::default(), &cell.pool, reps, seed, |t, s| {
+                dsm_secs +=
+                    run_dsm(env.table("sdss"), dims, t, &cell.pool, budget, s).online_seconds;
+                meta_secs +=
+                    run_lte(&cell.pipeline, t, &cell.pool, Variant::MetaStar, s).online_seconds;
+                0.0
+            });
+            col.push((dsm_secs / reps as f64, meta_secs / reps as f64));
+        }
+        columns.push(col);
+    }
+    for (bi, &budget) in budgets.iter().enumerate() {
+        report.push_row(vec![
+            budget.to_string(),
+            fmt_secs(columns[0][bi].0),
+            fmt_secs(columns[1][bi].0),
+            fmt_secs(columns[0][bi].1),
+            fmt_secs(columns[1][bi].1),
+        ]);
+    }
+    report.print();
+    if let Some(dir) = out {
+        let _ = report.write_csv(dir);
+    }
+}
+
+/// Dispatch a CLI subcommand; unknown names list the options and exit.
+pub fn subcommand(env: &BenchEnv, out: Option<&Path>, sub: &str) {
+    match sub {
+        "all" => run(env, out),
+        other => {
+            eprintln!("unknown subcommand `{other}`; available: all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Figure 7: performance on generalized UIRs (§VIII-C).
+//!
+//! Ground truths here are concave / disconnected UISs (the Table III
+//! modes); DSM degenerates to a plain SVM in this regime, so the
+//! competitors are SVM (raw features) and SVMr (preprocessed features),
+//! both trained on exactly LTE's initial tuples.
+//!
+//! * **7(a,b)** F1 vs budget on CAR and SDSS: paper shape —
+//!   Meta* > Meta > Basic > SVMr > SVM, all but SVM improving with budget
+//!   (SVM struggles to pick kernels/hyper-parameters for complex UISs).
+//! * **7(c)** F1 vs UIR dimensionality at B=30 on SDSS: NN methods stay
+//!   relatively stable.
+
+use crate::env::BenchEnv;
+use crate::report::{fmt3, Report};
+use crate::runner::TruthPolicy;
+use crate::runner::{
+    average_over_truths, build_cell, default_threads, parallel_map, run_initial_tuple_svm,
+    run_lte, Cell,
+};
+use lte_core::explore::Variant;
+use lte_data::rng::derive_seed;
+use std::path::Path;
+
+fn methods_f1(env: &BenchEnv, cell: &Cell, seed: u64) -> Vec<f64> {
+    let mode = env.general_mode();
+    let f1 = |which: &str| {
+        average_over_truths(
+            &cell.pipeline,
+            mode,
+            TruthPolicy::default(),
+            &cell.pool,
+            env.reps,
+            seed,
+            |t, s| match which {
+                "Meta*" => run_lte(&cell.pipeline, t, &cell.pool, Variant::MetaStar, s).f1,
+                "Meta" => run_lte(&cell.pipeline, t, &cell.pool, Variant::Meta, s).f1,
+                "Basic" => run_lte(&cell.pipeline, t, &cell.pool, Variant::Basic, s).f1,
+                "SVMr" => run_initial_tuple_svm(&cell.pipeline, t, &cell.pool, true, s).f1,
+                "SVM" => run_initial_tuple_svm(&cell.pipeline, t, &cell.pool, false, s).f1,
+                other => panic!("unknown method {other}"),
+            },
+        )
+    };
+    ["Meta*", "Meta", "Basic", "SVMr", "SVM"]
+        .iter()
+        .map(|m| f1(m))
+        .collect()
+}
+
+/// Fig. 7(a,b): F1 vs budget on generalized UIRs (4D = two 2D subspaces).
+pub fn run_budget(env: &BenchEnv, out: Option<&Path>) {
+    let budgets = [30usize, 55, 80, 105];
+    for dataset in ["car", "sdss"] {
+        let cells: Vec<(usize, Cell)> =
+            parallel_map(budgets.to_vec(), default_threads(), |budget| {
+                (
+                    budget,
+                    build_cell(
+                        env,
+                        dataset,
+                        4,
+                        budget,
+                        env.general_mode(),
+                        derive_seed(env.seed, (700 + budget) as u64),
+                    ),
+                )
+            });
+        let mut report = Report::new(
+            format!("Fig 7: accuracy vs budget, generalized UIRs ({dataset})"),
+            &["B", "Meta*", "Meta", "Basic", "SVMr", "SVM"],
+        );
+        for (budget, cell) in &cells {
+            let f1s = methods_f1(env, cell, derive_seed(env.seed, (720 + budget) as u64));
+            let mut row = vec![budget.to_string()];
+            row.extend(f1s.iter().map(|&v| fmt3(v)));
+            report.push_row(row);
+        }
+        report.print();
+        if let Some(dir) = out {
+            let _ = report.write_csv(dir);
+        }
+    }
+}
+
+/// Fig. 7(c): F1 vs UIR dimensionality at B=30 on SDSS.
+pub fn run_dimension(env: &BenchEnv, out: Option<&Path>) {
+    let dims_grid = [4usize, 6, 8];
+    let cells: Vec<(usize, Cell)> = parallel_map(dims_grid.to_vec(), default_threads(), |dims| {
+        (
+            dims,
+            build_cell(
+                env,
+                "sdss",
+                dims,
+                30,
+                env.general_mode(),
+                derive_seed(env.seed, (760 + dims) as u64),
+            ),
+        )
+    });
+    let mut report = Report::new(
+        "Fig 7(c): accuracy vs UIR dimensionality, generalized UIRs (SDSS, B=30)",
+        &["|Du|", "Meta*", "Meta", "Basic", "SVM"],
+    );
+    for (dims, cell) in &cells {
+        let f1s = methods_f1(env, cell, derive_seed(env.seed, (780 + dims) as u64));
+        report.push_row(vec![
+            format!("{dims}D"),
+            fmt3(f1s[0]),
+            fmt3(f1s[1]),
+            fmt3(f1s[2]),
+            fmt3(f1s[4]),
+        ]);
+    }
+    report.print();
+    if let Some(dir) = out {
+        let _ = report.write_csv(dir);
+    }
+}
+
+/// Run all panels.
+pub fn run(env: &BenchEnv, out: Option<&Path>) {
+    run_budget(env, out);
+    run_dimension(env, out);
+}
+
+/// Dispatch a CLI subcommand; unknown names list the options and exit.
+pub fn subcommand(env: &BenchEnv, out: Option<&Path>, sub: &str) {
+    match sub {
+        "budget" => run_budget(env, out),
+        "dimension" => run_dimension(env, out),
+        "all" => run(env, out),
+        other => {
+            eprintln!("unknown subcommand `{other}`; available: budget, dimension, all");
+            std::process::exit(2);
+        }
+    }
+}

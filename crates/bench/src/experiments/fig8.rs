@@ -1,0 +1,262 @@
+//! Figure 8: analysis experiments (§VIII-D).
+//!
+//! * **8(a)** GMM vs JKC vs combined (Auto) tabular representations, plus
+//!   raw min-max as the "can hardly be trained" control — F1 of the Basic
+//!   classifier on three 2D subspaces.
+//! * **8(b)** pre-training cost vs |TM|: task-generation and training time
+//!   both linear in the number of meta-tasks, near-independent of dataset
+//!   size.
+//! * **8(c)** accuracy vs |TM|: improves then flattens — the "sweet point"
+//!   where early stopping is safe.
+//! * **8(d)** accuracy vs the *online* learning rate: Meta (good
+//!   initialization) is stable across rates, Basic needs a large rate and
+//!   still trails.
+
+use crate::env::BenchEnv;
+use crate::report::{fmt3, Report};
+use crate::runner::TruthPolicy;
+use crate::runner::{average_over_truths, eval_pool, run_lte};
+use lte_core::config::OnlineConfig;
+use lte_core::context::SubspaceContext;
+use lte_core::explore::{explore_subspace, Variant};
+use lte_core::metrics::ConfusionMatrix;
+use lte_core::oracle::{RegionOracle, SubspaceOracle};
+use lte_core::uis::generate_uis;
+use lte_data::rng::{derive_seed, seeded};
+use lte_data::subspace::Subspace;
+use lte_preprocess::EncoderKind;
+use std::path::Path;
+
+/// Fig. 8(a): encoder ablation on three 2D subspaces per dataset with the
+/// Basic classifier (representation quality isolated from meta-learning).
+/// SDSS subspaces are peak-dominated (GMM's home turf); CAR subspaces are
+/// smooth/trend-dominated (JKC's home turf) — together they show why the
+/// combined Auto representation is the right default.
+pub fn run_encoding(env: &BenchEnv, out: Option<&Path>) {
+    for dataset in ["sdss", "car"] {
+        run_encoding_on(env, out, dataset);
+    }
+}
+
+fn run_encoding_on(env: &BenchEnv, out: Option<&Path>, dataset: &str) {
+    let table = env.table(dataset);
+    let subspace_attrs: [[usize; 2]; 3] = if dataset == "sdss" {
+        [[0, 1], [2, 3], [4, 5]]
+    } else {
+        // price/mileage, year/power, mileage/engine.
+        [[0, 1], [2, 3], [1, 4]]
+    };
+    let kinds = [
+        ("GMM", EncoderKind::AllGmm),
+        ("JKC", EncoderKind::AllJkc),
+        ("Basic(GMM+JKC)", EncoderKind::Auto),
+        ("MinMax", EncoderKind::MinMax),
+    ];
+
+    let mut report = Report::new(
+        format!("Fig 8(a): tabular representation ablation ({dataset}, Basic classifier, B=30)"),
+        &["representation", "D1", "D2", "D3"],
+    );
+    for (kind_name, kind) in kinds {
+        let mut row = vec![kind_name.to_string()];
+        for (si, attrs) in subspace_attrs.iter().enumerate() {
+            let mut cfg = env.lte_config(30);
+            cfg.encoder.kind = kind;
+            let ctx = SubspaceContext::build(
+                table,
+                Subspace::new(attrs.to_vec()),
+                &cfg.task,
+                &cfg.encoder,
+                derive_seed(env.seed, 840 + si as u64),
+            );
+            let eval: Vec<Vec<f64>> = ctx.sample_rows().to_vec();
+            let mut total = 0.0;
+            let mut n = 0;
+            for rep in 0..env.reps as u64 {
+                let uis = generate_uis(
+                    ctx.cu(),
+                    ctx.pu(),
+                    env.general_mode(),
+                    &mut seeded(derive_seed(env.seed, 850 + 10 * si as u64 + rep)),
+                );
+                let sel = uis.selectivity(&eval);
+                if !(0.1..=0.9).contains(&sel) {
+                    continue;
+                }
+                let oracle = RegionOracle::new(uis);
+                let outcome = explore_subspace(
+                    &ctx,
+                    None,
+                    &oracle,
+                    &eval,
+                    &cfg,
+                    Variant::Basic,
+                    derive_seed(env.seed, 860 + rep),
+                );
+                let cm = ConfusionMatrix::from_pairs(
+                    outcome
+                        .predictions
+                        .iter()
+                        .zip(&eval)
+                        .map(|(&p, row)| (p, oracle.label(row))),
+                );
+                total += cm.f1();
+                n += 1;
+            }
+            row.push(fmt3(total / n.max(1) as f64));
+        }
+        report.push_row(row);
+    }
+    report.print();
+    if let Some(dir) = out {
+        let _ = report.write_csv(dir);
+    }
+}
+
+/// Task-count grid (paper: {1 000, 5 000, 10 000, 15 000}).
+fn task_grid(env: &BenchEnv) -> Vec<usize> {
+    match env.scale {
+        crate::env::Scale::Reduced => vec![250, 500, 1000, 1500],
+        crate::env::Scale::Paper => vec![1000, 5000, 10_000, 15_000],
+    }
+}
+
+/// Fig. 8(b,c): pre-training cost and accuracy vs |TM| on both datasets.
+pub fn run_pretrain(env: &BenchEnv, out: Option<&Path>) {
+    let grid = task_grid(env);
+    let mut cost = Report::new(
+        "Fig 8(b): pre-training cost vs number of meta-tasks",
+        &["|TM|", "gen(CAR)", "train(CAR)", "gen(SDSS)", "train(SDSS)"],
+    );
+    let mut acc = Report::new(
+        "Fig 8(c): accuracy vs number of meta-tasks",
+        &["|TM|", "CAR", "SDSS"],
+    );
+    for &n_tasks in &grid {
+        let mut cost_row = vec![n_tasks.to_string()];
+        let mut acc_row = vec![n_tasks.to_string()];
+        for dataset in ["car", "sdss"] {
+            let mut cfg = env.lte_config(30);
+            cfg.task.mode = env.general_mode();
+            cfg.train.n_tasks = n_tasks;
+            let table = env.table(dataset);
+            let (pipeline, offline) = crate::runner::build_pipeline(
+                table,
+                4,
+                cfg,
+                derive_seed(env.seed, 870 + n_tasks as u64),
+            );
+            cost_row.push(format!("{:.1}s", offline.task_gen_seconds));
+            cost_row.push(format!("{:.1}s", offline.train_seconds));
+
+            let pool = eval_pool(table, env.eval_size, derive_seed(env.seed, 880));
+            let f1 = average_over_truths(
+                &pipeline,
+                env.general_mode(),
+                TruthPolicy::default(),
+                &pool,
+                env.reps,
+                derive_seed(env.seed, 890 + n_tasks as u64),
+                |t, s| run_lte(&pipeline, t, &pool, Variant::Meta, s).f1,
+            );
+            acc_row.push(fmt3(f1));
+        }
+        cost.push_row(cost_row);
+        acc.push_row(acc_row);
+    }
+    cost.print();
+    acc.print();
+    if let Some(dir) = out {
+        let _ = cost.write_csv(dir);
+        let _ = acc.write_csv(dir);
+    }
+}
+
+/// Fig. 8(d): accuracy vs online learning rate, Meta vs Basic.
+pub fn run_lr(env: &BenchEnv, out: Option<&Path>) {
+    let rates = [1e-4, 1e-3, 1e-2, 5e-2];
+    let mut report = Report::new(
+        "Fig 8(d): accuracy vs online learning rate (B=30)",
+        &["lr", "Meta(CAR)", "Basic(CAR)", "Meta(SDSS)", "Basic(SDSS)"],
+    );
+    // One single-subspace pipeline per dataset, trained once. This panel
+    // isolates the *meta-knowledge* effect, which needs pre-training volume
+    // (the paper used |TM| = 5000): train its pipelines at 2× the reduced
+    // default so the learned initialization carries real zero-shot skill.
+    let cells: Vec<(&str, crate::runner::Cell)> = ["car", "sdss"]
+        .iter()
+        .map(|ds| {
+            let table = env.table(ds);
+            let mut cfg = env.lte_config(30);
+            cfg.task.mode = env.general_mode();
+            if matches!(env.scale, crate::env::Scale::Reduced) {
+                cfg.train.n_tasks = cfg.train.n_tasks.max(2000);
+                cfg.train.epochs = cfg.train.epochs.max(8);
+            }
+            let (pipeline, offline) = crate::runner::build_pipeline(
+                table,
+                2,
+                cfg,
+                derive_seed(env.seed, 900),
+            );
+            let pool =
+                crate::runner::eval_pool(table, env.eval_size, derive_seed(env.seed, 901));
+            (
+                *ds,
+                crate::runner::Cell {
+                    pipeline,
+                    offline,
+                    pool,
+                },
+            )
+        })
+        .collect();
+    for &lr in &rates {
+        let mut row = vec![format!("{lr}")];
+        for (_, cell) in &cells {
+            let mut pipeline = cell.pipeline.clone();
+            pipeline.set_online(OnlineConfig {
+                lr,
+                ..OnlineConfig::default()
+            });
+            for variant in [Variant::Meta, Variant::Basic] {
+                let f1 = average_over_truths(
+                    &pipeline,
+                    env.general_mode(),
+                    TruthPolicy::default(),
+                    &cell.pool,
+                    env.reps,
+                    derive_seed(env.seed, 910),
+                    |t, s| run_lte(&pipeline, t, &cell.pool, variant, s).f1,
+                );
+                row.push(fmt3(f1));
+            }
+        }
+        report.push_row(row);
+    }
+    report.print();
+    if let Some(dir) = out {
+        let _ = report.write_csv(dir);
+    }
+}
+
+/// Run all analysis panels.
+pub fn run(env: &BenchEnv, out: Option<&Path>) {
+    run_encoding(env, out);
+    run_pretrain(env, out);
+    run_lr(env, out);
+}
+
+/// Dispatch a CLI subcommand; unknown names list the options and exit.
+pub fn subcommand(env: &BenchEnv, out: Option<&Path>, sub: &str) {
+    match sub {
+        "encoding" => run_encoding(env, out),
+        "pretrain" => run_pretrain(env, out),
+        "lr" => run_lr(env, out),
+        "all" => run(env, out),
+        other => {
+            eprintln!("unknown subcommand `{other}`; available: encoding, pretrain, lr, all");
+            std::process::exit(2);
+        }
+    }
+}

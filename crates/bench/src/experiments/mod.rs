@@ -1,0 +1,11 @@
+//! One module per §VIII table/figure. Each exposes `run(&BenchEnv,
+//! Option<&Path>)` printing the reproduction table (and writing CSV when an
+//! output directory is given); the thin binaries in `src/bin/` and the
+//! `run_all` binary call these.
+
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table2;

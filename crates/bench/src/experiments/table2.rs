@@ -1,0 +1,85 @@
+//! Table II: accuracy w.r.t. UIS modes M1–M7 at B=30 (§VIII-C).
+//!
+//! Per-subspace UIS prediction on CAR and SDSS over the seven Table III
+//! modes (α, ψ combinations). The meta-learners are trained *once* under
+//! the generalized mode (α=4, ψ=20) — the paper's point is that learners
+//! trained on complex tasks transfer to simpler modes. Paper shape:
+//! Meta* > Meta > Basic > SVMr > SVM everywhere; the Meta-over-Basic gain
+//! is largest at small α (M5 > M6 > M7); larger ψ (simpler, bigger regions)
+//! is easier for everyone.
+
+use crate::env::BenchEnv;
+use crate::report::{fmt3, Report};
+use crate::runner::TruthPolicy;
+use crate::runner::{
+    average_over_truths, build_cell, run_initial_tuple_svm, run_lte, Cell,
+};
+use lte_core::explore::Variant;
+use lte_data::rng::derive_seed;
+use std::path::Path;
+
+/// Run the mode grid for both datasets.
+pub fn run(env: &BenchEnv, out: Option<&Path>) {
+    let modes = env.paper_modes();
+    for dataset in ["car", "sdss"] {
+        // One 2D subspace: Table II measures UIS-level accuracy.
+        let cell: Cell = build_cell(
+            env,
+            dataset,
+            2,
+            30,
+            env.general_mode(),
+            derive_seed(env.seed, 820),
+        );
+        let mut report = Report::new(
+            format!("Table II: accuracy per UIS mode, B=30 ({dataset})"),
+            &["method", "M1", "M2", "M3", "M4", "M5", "M6", "M7"],
+        );
+        let methods = ["Meta*", "Meta", "Basic", "SVMr", "SVM"];
+        for method in methods {
+            let mut row = vec![method.to_string()];
+            for (mi, (_, mode)) in modes.iter().enumerate() {
+                let seed = derive_seed(env.seed, 830 + mi as u64);
+                let f1 = average_over_truths(
+                    &cell.pipeline,
+                    *mode,
+                    TruthPolicy::relaxed(),
+                    &cell.pool,
+                    env.reps,
+                    seed,
+                    |t, s| match method {
+                        "Meta*" => {
+                            run_lte(&cell.pipeline, t, &cell.pool, Variant::MetaStar, s).f1
+                        }
+                        "Meta" => run_lte(&cell.pipeline, t, &cell.pool, Variant::Meta, s).f1,
+                        "Basic" => run_lte(&cell.pipeline, t, &cell.pool, Variant::Basic, s).f1,
+                        "SVMr" => {
+                            run_initial_tuple_svm(&cell.pipeline, t, &cell.pool, true, s).f1
+                        }
+                        "SVM" => {
+                            run_initial_tuple_svm(&cell.pipeline, t, &cell.pool, false, s).f1
+                        }
+                        other => panic!("unknown method {other}"),
+                    },
+                );
+                row.push(fmt3(f1));
+            }
+            report.push_row(row);
+        }
+        report.print();
+        if let Some(dir) = out {
+            let _ = report.write_csv(dir);
+        }
+    }
+}
+
+/// Dispatch a CLI subcommand; unknown names list the options and exit.
+pub fn subcommand(env: &BenchEnv, out: Option<&Path>, sub: &str) {
+    match sub {
+        "all" => run(env, out),
+        other => {
+            eprintln!("unknown subcommand `{other}`; available: all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness for the LTE reproduction.
+//!
+//! One binary per table/figure of §VIII (see `src/bin/`), all built from the
+//! shared pieces here:
+//!
+//! * [`cli`] — a tiny flag parser (`--paper`, `--seed`, `--reps`, `--out`),
+//! * [`crate::env`] — datasets and configurations at *reduced* (default) or
+//!   *paper* scale,
+//! * [`report`] — aligned console tables plus CSV output,
+//! * [`runner`] — pipeline construction, ground-truth generation, and
+//!   method runners (LTE variants, DSM, AL-SVM, SVM/SVMr) sharing one
+//!   evaluation protocol.
+//!
+//! Criterion micro-benchmarks for the substrates live in `benches/`.
+
+pub mod cli;
+pub mod env;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use cli::Options;
+pub use env::{BenchEnv, Scale};
+pub use report::Report;

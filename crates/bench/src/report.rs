@@ -1,0 +1,177 @@
+//! Console tables and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A result table: named columns, stringly-typed cells.
+#[derive(Debug, Clone)]
+pub struct Report {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Start a report with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; must match the header arity.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// CSV rendering (headers + rows, comma-separated, quoted when needed).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write the CSV into `dir/<slug>.csv` (directory created on demand).
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("{slug}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Format a float with 3 decimals (the paper's table precision).
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format seconds adaptively (ms below 1s).
+pub fn fmt_secs(v: f64) -> String {
+    if v < 1.0 {
+        format!("{:.1}ms", v * 1e3)
+    } else {
+        format!("{v:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("demo", &["method", "f1"]);
+        r.push_row(vec!["Meta*".into(), "0.866".into()]);
+        r.push_row(vec!["DSM".into(), "0.2".into()]);
+        let s = r.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("Meta*"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[3].len(), lines[4].len(), "rows align");
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.push_row(vec!["x,y".into(), "plain".into()]);
+        let csv = r.to_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let mut r = Report::new("Fig 4(a) accuracy", &["a"]);
+        r.push_row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("lte_bench_test_csv");
+        let path = r.write_csv(&dir).unwrap();
+        assert!(path.exists());
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a\n"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_arity_checked() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt_secs(0.1234), "123.4ms");
+        assert_eq!(fmt_secs(12.3), "12.30s");
+    }
+}

@@ -1,0 +1,483 @@
+//! Shared experiment protocol.
+//!
+//! Every §VIII experiment follows one shape: build an LTE pipeline offline
+//! over the first `n_attrs` attributes (2D subspace decomposition, like the
+//! paper), generate ground-truth test UIRs with the relevant (α, ψ) mode,
+//! let each method explore with budget `B`, and score F1 over a shared
+//! evaluation pool. Baselines (DSM, AL-SVM) explore the same pool with
+//! min-max-normalized features; SVM/SVMr (§VIII-C) are trained on exactly
+//! LTE's initial tuples for the fair "same inputs" comparison.
+
+use crate::env::BenchEnv;
+use lte_baselines::kernel::Kernel;
+use lte_baselines::svm::{Svm, SvmConfig};
+use lte_baselines::{AlSvmExplorer, DsmExplorer};
+use lte_core::config::LteConfig;
+use lte_core::explore::Variant;
+use lte_core::metrics::ConfusionMatrix;
+use lte_core::oracle::ConjunctiveOracle;
+use lte_core::pipeline::{LtePipeline, OfflineReport};
+use lte_core::uis::UisMode;
+use lte_data::rng::{derive_seed, seeded};
+use lte_data::subspace::decompose_sequential;
+use lte_data::table::Table;
+use rand::RngExt;
+use std::time::Instant;
+
+/// Selectivity windows for accepted test regions: degenerate regions
+/// (almost nothing / almost everything interesting) make F1 uninformative.
+/// Experiments with intrinsically tiny test regions (Table II's M4 mode)
+/// use [`TruthPolicy::relaxed`].
+#[derive(Debug, Clone, Copy)]
+pub struct TruthPolicy {
+    /// Per-subspace minimum selectivity.
+    pub sub_min: f64,
+    /// Per-subspace maximum selectivity.
+    pub sub_max: f64,
+    /// UIR-level (conjunctive) minimum selectivity over the pool.
+    pub uir_min: f64,
+}
+
+impl Default for TruthPolicy {
+    fn default() -> Self {
+        Self {
+            sub_min: 0.2,
+            sub_max: 0.9,
+            uir_min: 0.01,
+        }
+    }
+}
+
+impl TruthPolicy {
+    /// Relaxed bounds for small-region modes (e.g. α=4, ψ=5).
+    pub fn relaxed() -> Self {
+        Self {
+            sub_min: 0.02,
+            sub_max: 0.9,
+            uir_min: 0.005,
+        }
+    }
+}
+
+/// F1 and wall-clock of one exploration run.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodResult {
+    /// F1 over the evaluation pool.
+    pub f1: f64,
+    /// Online seconds (labelling excluded, adaptation + retrieval included).
+    pub online_seconds: f64,
+}
+
+/// Build the offline LTE pipeline over the first `n_attrs` attributes.
+pub fn build_pipeline(
+    table: &Table,
+    n_attrs: usize,
+    cfg: LteConfig,
+    seed: u64,
+) -> (LtePipeline, OfflineReport) {
+    let subspaces = decompose_sequential(n_attrs, 2);
+    LtePipeline::offline(table, subspaces, cfg, seed)
+}
+
+/// Sample the shared evaluation pool (full table rows).
+pub fn eval_pool(table: &Table, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded(seed);
+    table.sample(&mut rng, n).to_rows()
+}
+
+/// Ground-truth test UIR for a pipeline (selectivity-guarded per subspace).
+pub fn gen_truth(
+    pipeline: &LtePipeline,
+    mode: UisMode,
+    policy: TruthPolicy,
+    seed: u64,
+) -> ConjunctiveOracle {
+    pipeline.generate_truth(mode, seed, policy.sub_min, policy.sub_max)
+}
+
+/// Run one LTE variant.
+pub fn run_lte(
+    pipeline: &LtePipeline,
+    truth: &ConjunctiveOracle,
+    pool: &[Vec<f64>],
+    variant: Variant,
+    seed: u64,
+) -> MethodResult {
+    let outcome = pipeline.explore(truth, pool, variant, seed);
+    MethodResult {
+        f1: outcome.f1(),
+        online_seconds: outcome.online_seconds,
+    }
+}
+
+/// Min-max normalize pool rows over the first `n_attrs` attributes using
+/// the table's schema domains (baseline feature space; monotone per
+/// coordinate, so DSM's convexity geometry is unaffected).
+pub fn normalized_pool(table: &Table, n_attrs: usize, pool: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let schema = table.schema();
+    pool.iter()
+        .map(|row| {
+            (0..n_attrs)
+                .map(|c| schema.attr(c).expect("attr in range").normalize(row[c]))
+                .collect()
+        })
+        .collect()
+}
+
+/// Run the DSM baseline over the shared pool.
+pub fn run_dsm(
+    table: &Table,
+    n_attrs: usize,
+    truth: &ConjunctiveOracle,
+    pool: &[Vec<f64>],
+    budget: usize,
+    seed: u64,
+) -> MethodResult {
+    let norm = normalized_pool(table, n_attrs, pool);
+    let mut explorer = DsmExplorer::new(decompose_sequential(n_attrs, 2));
+    explorer.seed = seed;
+    explorer.svm = SvmConfig {
+        kernel: Kernel::rbf_for_dim(n_attrs),
+        seed,
+        ..SvmConfig::default()
+    };
+    let oracle = |i: usize, _row: &[f64]| truth.label(&pool[i]);
+    let t0 = Instant::now();
+    let model = explorer.explore(&norm, &oracle, budget);
+    let confusion = ConfusionMatrix::from_pairs(
+        norm.iter()
+            .zip(pool)
+            .map(|(nrow, raw)| (model.predict(nrow), truth.label(raw))),
+    );
+    MethodResult {
+        f1: confusion.f1(),
+        online_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Run the AL-SVM baseline over the shared pool.
+pub fn run_alsvm(
+    table: &Table,
+    n_attrs: usize,
+    truth: &ConjunctiveOracle,
+    pool: &[Vec<f64>],
+    budget: usize,
+    seed: u64,
+) -> MethodResult {
+    let norm = normalized_pool(table, n_attrs, pool);
+    let explorer = AlSvmExplorer {
+        svm: SvmConfig {
+            kernel: Kernel::rbf_for_dim(n_attrs),
+            seed,
+            ..SvmConfig::default()
+        },
+        seed,
+        ..AlSvmExplorer::default()
+    };
+    let oracle = |i: usize, _row: &[f64]| truth.label(&pool[i]);
+    let t0 = Instant::now();
+    let model = explorer.explore(&norm, &oracle, budget);
+    let confusion = ConfusionMatrix::from_pairs(
+        norm.iter()
+            .zip(pool)
+            .map(|(nrow, raw)| (model.predict(nrow), truth.label(raw))),
+    );
+    MethodResult {
+        f1: confusion.f1(),
+        online_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// §VIII-C's SVM / SVMr: a plain RBF SVM trained on *exactly LTE's initial
+/// tuples* (the `Cs` centers plus Δ random sample tuples of each subspace),
+/// with raw min-max features (`SVM`) or the Algorithm-3 multi-modal encoding
+/// (`SVMr`). Prediction is conjunctive across subspaces like every other
+/// method.
+pub fn run_initial_tuple_svm(
+    pipeline: &LtePipeline,
+    truth: &ConjunctiveOracle,
+    pool: &[Vec<f64>],
+    encoded: bool,
+    seed: u64,
+) -> MethodResult {
+    let cfg = pipeline.config();
+    let t0 = Instant::now();
+    let mut uir_pred = vec![true; pool.len()];
+    for (i, ctx) in pipeline.contexts().iter().enumerate() {
+        let (sub, region) = &truth.parts()[i];
+        let mut rng = seeded(derive_seed(seed, 31 + i as u64));
+
+        // Per-dimension min/max over the clustering sample for raw features.
+        let dim = ctx.dim();
+        let (mut lo, mut hi) = (vec![f64::INFINITY; dim], vec![f64::NEG_INFINITY; dim]);
+        for row in ctx.sample_rows() {
+            for d in 0..dim {
+                lo[d] = lo[d].min(row[d]);
+                hi[d] = hi[d].max(row[d]);
+            }
+        }
+        let featurize = |row: &[f64]| -> Vec<f64> {
+            if encoded {
+                ctx.encode(row)
+            } else {
+                (0..dim)
+                    .map(|d| {
+                        if hi[d] - lo[d] <= f64::EPSILON {
+                            0.0
+                        } else {
+                            ((row[d] - lo[d]) / (hi[d] - lo[d])).clamp(0.0, 1.0)
+                        }
+                    })
+                    .collect()
+            }
+        };
+
+        // The same initial tuples LTE labels: Cs centers + Δ random rows.
+        let mut x: Vec<Vec<f64>> = ctx.cs().iter().map(|r| featurize(r)).collect();
+        let mut y: Vec<bool> = ctx.cs().iter().map(|r| region.contains(r)).collect();
+        let sample = ctx.sample_rows();
+        for _ in 0..cfg.task.delta {
+            let row = &sample[rng.random_range(0..sample.len())];
+            x.push(featurize(row));
+            y.push(region.contains(row));
+        }
+
+        let feat_dim = x[0].len();
+        // Class-weight the soft margin like LTE weights its online loss:
+        // with a small interest region, 30 labels hold very few positives.
+        let pos = y.iter().filter(|&&b| b).count();
+        let neg = y.len() - pos;
+        let pos_weight = if pos == 0 || neg == 0 {
+            1.0
+        } else {
+            (neg as f64 / pos as f64).clamp(1.0, 10.0)
+        };
+        let svm_cfg = SvmConfig {
+            kernel: Kernel::rbf_for_dim(feat_dim),
+            pos_weight,
+            seed,
+            ..SvmConfig::default()
+        };
+        let model = Svm::train(&x, &y, &svm_cfg);
+        let fallback = y.iter().filter(|&&b| b).count() * 2 > y.len();
+        for (pred, row) in uir_pred.iter_mut().zip(pool) {
+            let proj = sub.project_row(row);
+            let sub_pred = match &model {
+                Some(m) => m.predict(&featurize(&proj)),
+                None => fallback,
+            };
+            *pred &= sub_pred;
+        }
+    }
+    let confusion = ConfusionMatrix::from_pairs(
+        uir_pred
+            .iter()
+            .zip(pool)
+            .map(|(&pred, row)| (pred, truth.label(row))),
+    );
+    MethodResult {
+        f1: confusion.f1(),
+        online_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Average a per-repetition measurement over `reps` test UIRs; repetitions
+/// whose truth is degenerate on the pool (selectivity outside the window at
+/// UIR level) are skipped but counted against a bounded retry allowance.
+pub fn average_over_truths(
+    pipeline: &LtePipeline,
+    mode: UisMode,
+    policy: TruthPolicy,
+    pool: &[Vec<f64>],
+    reps: usize,
+    seed: u64,
+    mut f: impl FnMut(&ConjunctiveOracle, u64) -> f64,
+) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    let mut attempt = 0u64;
+    while n < reps && attempt < (reps as u64) * 10 {
+        let truth = gen_truth(pipeline, mode, policy, derive_seed(seed, attempt));
+        attempt += 1;
+        // UIR-level selectivity floor: need enough positives for stable F1.
+        if truth.selectivity(pool) < policy.uir_min {
+            continue;
+        }
+        total += f(&truth, derive_seed(seed, 7_000 + attempt));
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Run jobs across worker threads (index-preserving). Uses a crossbeam
+/// channel as the work queue; `threads` is clamped to the job count.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = inputs.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let (in_tx, in_rx) = crossbeam::channel::unbounded::<(usize, I)>();
+    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, O)>();
+    for pair in inputs.into_iter().enumerate() {
+        in_tx.send(pair).expect("queue open");
+    }
+    drop(in_tx);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let in_rx = in_rx.clone();
+            let out_tx = out_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((i, input)) = in_rx.recv() {
+                    let _ = out_tx.send((i, f(input)));
+                }
+            });
+        }
+        drop(out_tx);
+    });
+    let mut results: Vec<(usize, O)> = out_rx.iter().collect();
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, o)| o).collect()
+}
+
+/// Default worker count: leave nothing idle but respect tiny machines.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Convenience bundle: pipeline + shared pool for a (dataset, dims, budget)
+/// cell of an experiment grid.
+pub struct Cell {
+    /// The trained pipeline.
+    pub pipeline: LtePipeline,
+    /// Offline timing report.
+    pub offline: OfflineReport,
+    /// Shared evaluation pool (full-space raw rows).
+    pub pool: Vec<Vec<f64>>,
+}
+
+/// Build a grid cell. `train_mode` is the (α, ψ) mode used to *generate the
+/// training meta-tasks*: §VIII-B experiments meta-train on convex tasks
+/// (α=1, ψ=50) to match the baselines' assumptions, §VIII-C on the
+/// generalized mode (α=4, ψ=20).
+pub fn build_cell(
+    env: &BenchEnv,
+    dataset: &str,
+    n_attrs: usize,
+    budget: usize,
+    train_mode: UisMode,
+    seed: u64,
+) -> Cell {
+    let table = env.table(dataset);
+    let mut cfg = env.lte_config(budget);
+    cfg.task.mode = train_mode;
+    let (pipeline, offline) = build_pipeline(table, n_attrs, cfg, seed);
+    let pool = eval_pool(table, env.eval_size, derive_seed(seed, 99));
+    Cell {
+        pipeline,
+        offline,
+        pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Scale;
+
+    fn tiny_env() -> BenchEnv {
+        let mut env = BenchEnv::new(Scale::Reduced, 7);
+        env.eval_size = 400;
+        env
+    }
+
+    fn fast_cfg(env: &BenchEnv, budget: usize) -> LteConfig {
+        let mut cfg = env.lte_config(budget);
+        cfg.train.n_tasks = 60;
+        cfg.train.epochs = 1;
+        cfg
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..50).collect::<Vec<_>>(), 4, |x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+        let out = parallel_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        let empty: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn normalized_pool_is_unit_range() {
+        let env = tiny_env();
+        let pool = eval_pool(&env.sdss.table, 100, 3);
+        let norm = normalized_pool(&env.sdss.table, 4, &pool);
+        assert_eq!(norm[0].len(), 4);
+        for row in &norm {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn full_protocol_smoke_test() {
+        // One tiny cell: every method runs and produces a finite F1.
+        let env = tiny_env();
+        let cfg = fast_cfg(&env, 30);
+        let (pipeline, _) = build_pipeline(&env.sdss.table, 4, cfg, 11);
+        let pool = eval_pool(&env.sdss.table, 300, 12);
+        let truth = gen_truth(&pipeline, env.convex_mode(), TruthPolicy::default(), 13);
+
+        let lte = run_lte(&pipeline, &truth, &pool, Variant::MetaStar, 14);
+        assert!(lte.f1.is_finite() && lte.f1 >= 0.0 && lte.f1 <= 1.0);
+
+        let dsm = run_dsm(&env.sdss.table, 4, &truth, &pool, 30, 15);
+        assert!(dsm.f1.is_finite());
+        assert!(dsm.online_seconds > 0.0);
+
+        let alsvm = run_alsvm(&env.sdss.table, 4, &truth, &pool, 30, 16);
+        assert!(alsvm.f1.is_finite());
+
+        let svm = run_initial_tuple_svm(&pipeline, &truth, &pool, false, 17);
+        let svmr = run_initial_tuple_svm(&pipeline, &truth, &pool, true, 18);
+        assert!(svm.f1.is_finite());
+        assert!(svmr.f1.is_finite());
+    }
+
+    #[test]
+    fn average_over_truths_counts_reps() {
+        let env = tiny_env();
+        let cfg = fast_cfg(&env, 30);
+        let (pipeline, _) = build_pipeline(&env.sdss.table, 2, cfg, 21);
+        let pool = eval_pool(&env.sdss.table, 200, 22);
+        let mut calls = 0;
+        let avg = average_over_truths(
+            &pipeline,
+            env.convex_mode(),
+            TruthPolicy::default(),
+            &pool,
+            2,
+            23,
+            |_t, _s| {
+                calls += 1;
+                0.5
+            },
+        );
+        assert_eq!(calls, 2);
+        assert!((avg - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,269 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! The paper uses k-means as the clustering-based sampling method behind
+//! meta-task generation because it is "primitive and effective for
+//! summarizing data insights" (§V-A, citing AIDE). Determinism matters for
+//! reproducibility, so the seeding RNG is supplied by the caller.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Squared Euclidean distance.
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// K-means configuration.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Number of clusters requested. If the input has fewer distinct points,
+    /// the model holds fewer centers.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on total center movement (squared distance).
+    pub tol: f64,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl KMeans {
+    /// Standard configuration: 50 iterations, 1e-8 tolerance.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self {
+            k,
+            max_iter: 50,
+            tol: 1e-8,
+            seed,
+        }
+    }
+
+    /// Run k-means over row vectors.
+    ///
+    /// # Panics
+    /// Panics when `points` is empty or `k == 0`.
+    pub fn fit(&self, points: &[Vec<f64>]) -> KMeansModel {
+        assert!(!points.is_empty(), "k-means needs at least one point");
+        assert!(self.k > 0, "k must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let k = self.k.min(points.len());
+        let mut centers = plus_plus_init(&mut rng, points, k);
+
+        let mut assignments = vec![0usize; points.len()];
+        let mut iterations = 0;
+        for it in 0..self.max_iter {
+            iterations = it + 1;
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                assignments[i] = nearest(&centers, p).0;
+            }
+            // Update step.
+            let dim = points[0].len();
+            let mut sums = vec![vec![0.0; dim]; centers.len()];
+            let mut counts = vec![0usize; centers.len()];
+            for (i, p) in points.iter().enumerate() {
+                let c = assignments[i];
+                counts[c] += 1;
+                for (s, &v) in sums[c].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            let mut movement = 0.0;
+            for (c, center) in centers.iter_mut().enumerate() {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at a random point; keeps k
+                    // centers alive on degenerate data.
+                    let j = rng.random_range(0..points.len());
+                    movement += dist2(center, &points[j]);
+                    center.clone_from(&points[j]);
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f64;
+                let mut moved = 0.0;
+                for (ci, s) in center.iter_mut().zip(&sums[c]) {
+                    let nv = s * inv;
+                    let d = *ci - nv;
+                    moved += d * d;
+                    *ci = nv;
+                }
+                movement += moved;
+            }
+            if movement <= self.tol {
+                break;
+            }
+        }
+
+        // Final assignment + inertia against the converged centers.
+        let mut inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (c, d2) = nearest(&centers, p);
+            assignments[i] = c;
+            inertia += d2;
+        }
+
+        KMeansModel {
+            centers,
+            assignments,
+            inertia,
+            iterations,
+        }
+    }
+}
+
+/// k-means++ initialization: spread initial centers proportionally to the
+/// squared distance from already chosen centers.
+fn plus_plus_init<R: Rng + ?Sized>(rng: &mut R, points: &[Vec<f64>], k: usize) -> Vec<Vec<f64>> {
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = rng.random_range(0..points.len());
+    centers.push(points[first].clone());
+
+    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All remaining points coincide with existing centers.
+            rng.random_range(0..points.len())
+        } else {
+            let mut t = rng.random::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                t -= w;
+                if t <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centers.push(points[next].clone());
+        let c = centers.last().expect("just pushed");
+        for (i, p) in points.iter().enumerate() {
+            let d = dist2(p, c);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centers
+}
+
+/// Index and squared distance of the nearest center.
+fn nearest(centers: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centers.iter().enumerate() {
+        let d = dist2(c, p);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeansModel {
+    /// Cluster centers (may be fewer than requested `k` on tiny inputs).
+    pub centers: Vec<Vec<f64>>,
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances from points to their assigned centers.
+    pub inertia: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansModel {
+    /// Number of centers.
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Index of the nearest center to an arbitrary point.
+    pub fn predict(&self, p: &[f64]) -> usize {
+        nearest(&self.centers, p).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs on a line.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 7) as f64 * 0.01;
+            pts.push(vec![0.0 + jitter, 0.0]);
+            pts.push(vec![10.0 + jitter, 0.0]);
+            pts.push(vec![20.0 + jitter, 0.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let model = KMeans::new(3, 0).fit(&blobs());
+        assert_eq!(model.k(), 3);
+        let mut xs: Vec<f64> = model.centers.iter().map(|c| c[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[0] - 0.03).abs() < 0.5, "{xs:?}");
+        assert!((xs[1] - 10.03).abs() < 0.5, "{xs:?}");
+        assert!((xs[2] - 20.03).abs() < 0.5, "{xs:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = KMeans::new(3, 42).fit(&blobs());
+        let b = KMeans::new(3, 42).fit(&blobs());
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let model = KMeans::new(10, 0).fit(&pts);
+        assert_eq!(model.k(), 2);
+    }
+
+    #[test]
+    fn assignments_map_points_to_nearest_center() {
+        let model = KMeans::new(3, 1).fit(&blobs());
+        for (i, p) in blobs().iter().enumerate() {
+            assert_eq!(model.assignments[i], model.predict(p));
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let pts = blobs();
+        let m1 = KMeans::new(1, 0).fit(&pts);
+        let m3 = KMeans::new(3, 0).fit(&pts);
+        assert!(m3.inertia < m1.inertia);
+    }
+
+    #[test]
+    fn identical_points_yield_zero_inertia() {
+        let pts = vec![vec![5.0, 5.0]; 20];
+        let model = KMeans::new(4, 0).fit(&pts);
+        assert!(model.inertia <= 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_input_panics() {
+        KMeans::new(2, 0).fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        KMeans::new(0, 0).fit(&[vec![1.0]]);
+    }
+}

@@ -1,0 +1,17 @@
+//! Clustering substrate for LTE.
+//!
+//! Cluster centers act as a *lightweight summary* of a meta-subspace
+//! (paper §V-B): meta-task generation runs three independent rounds of
+//! k-means (with `k = ku, ks, kq`) and keeps two proximity matrices —
+//! `Pu` (`ku × ku`, center-to-center distances within `Cu`) used for UIS
+//! construction, and `Ps` (`ks × ku`, distances from `Cs` to `Cu`) used for
+//! UIS-feature-vector expansion (§VI-A) and the few-shot optimizer (§VII-B).
+//!
+//! * [`KMeans`] — Lloyd's algorithm with k-means++ initialization,
+//! * [`ProximityMatrix`] — dense pairwise distances with k-nearest queries.
+
+pub mod kmeans;
+pub mod proximity;
+
+pub use kmeans::{KMeans, KMeansModel};
+pub use proximity::ProximityMatrix;

@@ -1,0 +1,165 @@
+//! Dense proximity matrices over cluster centers.
+//!
+//! §V-B maintains two matrices for efficiency: `Pu` (`ku × ku`) between the
+//! centers of `Cu`, used to fetch ψ-nearest-neighbor sets during UIS
+//! construction in O(ku), and `Ps` (`ks × ku`) between `Cs` and `Cu`, used
+//! to expand UIS feature vectors (§VI-A) and to build the optimizer's
+//! outer/inner subregions (§VII-B). Building them costs
+//! O(ku² + ks·ku), exactly the complexity the paper reports.
+
+/// A dense `rows × cols` matrix of Euclidean distances between two point
+/// sets, with k-nearest-neighbor queries per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProximityMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row-major distances.
+    dist: Vec<f64>,
+}
+
+impl ProximityMatrix {
+    /// Distances from every point of `a` (rows) to every point of `b`
+    /// (columns).
+    pub fn between(a: &[Vec<f64>], b: &[Vec<f64>]) -> Self {
+        let rows = a.len();
+        let cols = b.len();
+        let mut dist = Vec::with_capacity(rows * cols);
+        for pa in a {
+            for pb in b {
+                let d2: f64 = pa
+                    .iter()
+                    .zip(pb)
+                    .map(|(x, y)| {
+                        let d = x - y;
+                        d * d
+                    })
+                    .sum();
+                dist.push(d2.sqrt());
+            }
+        }
+        Self { rows, cols, dist }
+    }
+
+    /// Symmetric self-distance matrix (the paper's `Pu`).
+    pub fn within(points: &[Vec<f64>]) -> Self {
+        Self::between(points, points)
+    }
+
+    /// Number of rows (source points).
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (target points).
+    pub fn n_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Distance between source `row` and target `col`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.dist[row * self.cols + col]
+    }
+
+    /// Column indices of the `k` nearest targets to source `row`,
+    /// ascending by distance. `include_self` controls whether a zero-distance
+    /// self-match (same index in a square self-matrix) is kept.
+    pub fn k_nearest(&self, row: usize, k: usize, include_self: bool) -> Vec<usize> {
+        assert!(row < self.rows, "row out of bounds");
+        let offset = row * self.cols;
+        let mut idx: Vec<usize> = (0..self.cols)
+            .filter(|&c| include_self || self.rows != self.cols || c != row)
+            .collect();
+        idx.sort_by(|&a, &b| {
+            self.dist[offset + a]
+                .partial_cmp(&self.dist[offset + b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    /// All column indices within `radius` of source `row`.
+    pub fn within_radius(&self, row: usize, radius: f64) -> Vec<usize> {
+        assert!(row < self.rows, "row out of bounds");
+        let offset = row * self.cols;
+        (0..self.cols)
+            .filter(|&c| self.dist[offset + c] <= radius)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_points(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64, 0.0]).collect()
+    }
+
+    #[test]
+    fn distances_are_euclidean() {
+        let a = vec![vec![0.0, 0.0]];
+        let b = vec![vec![3.0, 4.0], vec![0.0, 1.0]];
+        let m = ProximityMatrix::between(&a, &b);
+        assert_eq!(m.n_rows(), 1);
+        assert_eq!(m.n_cols(), 2);
+        assert!((m.get(0, 0) - 5.0).abs() < 1e-12);
+        assert!((m.get(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_matrix_is_symmetric_with_zero_diagonal() {
+        let pts = line_points(5);
+        let m = ProximityMatrix::within(&pts);
+        for i in 0..5 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..5 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_orders_by_distance() {
+        let pts = line_points(6);
+        let m = ProximityMatrix::within(&pts);
+        // From point 0 excluding itself: 1, 2, 3.
+        assert_eq!(m.k_nearest(0, 3, false), vec![1, 2, 3]);
+        // Including itself the zero-distance self-match leads.
+        assert_eq!(m.k_nearest(0, 3, true), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_nearest_caps_at_available_columns() {
+        let pts = line_points(3);
+        let m = ProximityMatrix::within(&pts);
+        assert_eq!(m.k_nearest(1, 99, false).len(), 2);
+        assert_eq!(m.k_nearest(1, 99, true).len(), 3);
+    }
+
+    #[test]
+    fn rectangular_matrix_keeps_same_index_columns() {
+        // In a non-square matrix, row index == column index is a coincidence,
+        // not a self-match, so it must be kept even with include_self=false.
+        let a = vec![vec![0.0]];
+        let b = vec![vec![0.0], vec![5.0]];
+        let m = ProximityMatrix::between(&a, &b);
+        assert_eq!(m.k_nearest(0, 2, false), vec![0, 1]);
+    }
+
+    #[test]
+    fn within_radius_filters() {
+        let pts = line_points(10);
+        let m = ProximityMatrix::within(&pts);
+        assert_eq!(m.within_radius(0, 2.5), vec![0, 1, 2]);
+        assert!(m.within_radius(0, -1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = ProximityMatrix::within(&line_points(2));
+        m.get(5, 0);
+    }
+}

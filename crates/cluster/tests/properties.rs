@@ -1,0 +1,62 @@
+//! Property-based tests for the clustering substrate.
+
+use lte_cluster::{KMeans, ProximityMatrix};
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(-100.0..100.0f64, 2), 2..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every point is assigned to its nearest center, and inertia equals
+    /// the sum of those squared distances.
+    #[test]
+    fn assignments_are_nearest(points in arb_points(), k in 1usize..6, seed in 0u64..100) {
+        let model = KMeans::new(k, seed).fit(&points);
+        let mut inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let assigned = model.assignments[i];
+            let d_assigned: f64 = p.iter().zip(&model.centers[assigned])
+                .map(|(a, b)| (a - b) * (a - b)).sum();
+            for c in &model.centers {
+                let d: f64 = p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                prop_assert!(d_assigned <= d + 1e-9, "closer center exists");
+            }
+            inertia += d_assigned;
+        }
+        prop_assert!((inertia - model.inertia).abs() < 1e-6 * (1.0 + inertia));
+    }
+
+    /// Centers lie inside the bounding box of the data (means of subsets).
+    #[test]
+    fn centers_inside_bounding_box(points in arb_points(), k in 1usize..6) {
+        let model = KMeans::new(k, 7).fit(&points);
+        for d in 0..2 {
+            let lo = points.iter().map(|p| p[d]).fold(f64::INFINITY, f64::min);
+            let hi = points.iter().map(|p| p[d]).fold(f64::NEG_INFINITY, f64::max);
+            for c in &model.centers {
+                prop_assert!(c[d] >= lo - 1e-9 && c[d] <= hi + 1e-9);
+            }
+        }
+    }
+
+    /// Proximity matrices satisfy metric basics: non-negativity, symmetry
+    /// (self-matrix), zero diagonal, and k_nearest returns ascending
+    /// distances.
+    #[test]
+    fn proximity_metric_properties(points in arb_points(), row in 0usize..60, k in 1usize..10) {
+        let m = ProximityMatrix::within(&points);
+        let row = row % points.len();
+        for i in 0..points.len() {
+            prop_assert!(m.get(row, i) >= 0.0);
+            prop_assert!((m.get(row, i) - m.get(i, row)).abs() < 1e-9);
+        }
+        prop_assert!(m.get(row, row) < 1e-12);
+        let nn = m.k_nearest(row, k, true);
+        for w in nn.windows(2) {
+            prop_assert!(m.get(row, w[0]) <= m.get(row, w[1]) + 1e-12);
+        }
+    }
+}

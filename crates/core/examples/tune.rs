@@ -1,0 +1,103 @@
+//! Scratch hyper-parameter probe: held-out adapted query accuracy for
+//! Meta vs Basic under varying meta-training budgets.
+
+use lte_core::config::LteConfig;
+use lte_core::context::SubspaceContext;
+use lte_core::explore::{explore_subspace, Variant};
+use lte_core::feature::expansion_degree;
+use lte_core::meta_learner::MetaLearner;
+use lte_core::meta_task::generate_task_set;
+use lte_core::metrics::ConfusionMatrix;
+use lte_core::oracle::{RegionOracle, SubspaceOracle};
+use lte_core::uis::generate_uis;
+use lte_data::generator::generate_sdss;
+use lte_data::rng::seeded;
+use lte_data::subspace::Subspace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_tasks: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let epochs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let lambda: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let local_steps: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let online_steps: usize = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let use_mem: bool = args.get(6).map(|s| s == "mem").unwrap_or(true);
+    let direct: f64 = args.get(7).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+
+    let table = generate_sdss(20_000, 0);
+    let mut cfg = LteConfig::reduced();
+    cfg.train.n_tasks = n_tasks;
+    cfg.train.epochs = epochs;
+    cfg.train.lambda = lambda;
+    cfg.train.local_steps = local_steps;
+    cfg.train.use_memories = use_mem;
+    cfg.online.adapt_steps = online_steps;
+    cfg.online.basic_steps = online_steps;
+    cfg.train.direct_weight = direct;
+
+    let ctx = SubspaceContext::build(&table, Subspace::new(vec![0, 1]), &cfg.task, &cfg.encoder, 1);
+    let l = expansion_degree(cfg.task.ku, cfg.net.expansion_frac);
+    let tasks = generate_task_set(&ctx, &cfg.task, l, cfg.train.n_tasks, &mut seeded(2));
+    let held_out = generate_task_set(&ctx, &cfg.task, l, 40, &mut seeded(999));
+
+    let mut learner = MetaLearner::new(cfg.task.ku, ctx.feature_width(), &cfg.net, cfg.train.clone(), 3);
+    let before_loss = learner.evaluate(&held_out);
+    let before_acc = learner.evaluate_accuracy(&held_out);
+    let t0 = std::time::Instant::now();
+    let report = learner.train(&tasks);
+    let train_secs = t0.elapsed().as_secs_f64();
+    let after_loss = learner.evaluate(&held_out);
+    let after_acc = learner.evaluate_accuracy(&held_out);
+    println!(
+        "tasks={n_tasks} epochs={epochs} lambda={lambda} local={local_steps} online={online_steps} mem={use_mem}"
+    );
+    println!("  train {:.1}s  epoch losses {:?}", train_secs, report.epoch_query_loss);
+    println!("  held-out loss {before_loss:.4} -> {after_loss:.4}   acc {before_acc:.4} -> {after_acc:.4}");
+
+    // Subspace-level F1 on fresh test UISs.
+    let eval: Vec<Vec<f64>> = ctx.sample_rows().to_vec();
+    let f1 = |variant: Variant, rep: u64| -> f64 {
+        let mut total = 0.0;
+        let mut n = 0;
+        for r in 0..rep {
+            let uis = generate_uis(ctx.cu(), ctx.pu(), cfg.task.mode, &mut seeded(5000 + r));
+            let sel = uis.selectivity(&eval);
+            if !(0.05..=0.95).contains(&sel) {
+                continue;
+            }
+            let oracle = RegionOracle::new(uis);
+            let learner_opt = match variant {
+                Variant::Basic => None,
+                _ => Some(&learner),
+            };
+            let out = explore_subspace(&ctx, learner_opt, &oracle, &eval, &cfg, variant, 7000 + r);
+            let cm = ConfusionMatrix::from_pairs(
+                out.predictions.iter().zip(&eval).map(|(&p, row)| (p, oracle.label(row))),
+            );
+            total += cm.f1();
+            n += 1;
+        }
+        total / n.max(1) as f64
+    };
+    println!("  F1  basic={:.4}  meta={:.4}  meta*={:.4}",
+        f1(Variant::Basic, 10), f1(Variant::Meta, 10), f1(Variant::MetaStar, 10));
+
+    // Zero-shot probe: how well does the raw initialization classify from
+    // (vR, vτ) with NO online adaptation at all?
+    let mut zs_total = 0.0;
+    let mut zs_n = 0;
+    for r in 0..10u64 {
+        let uis = generate_uis(ctx.cu(), ctx.pu(), cfg.task.mode, &mut seeded(6000 + r));
+        if !(0.05..=0.95).contains(&uis.selectivity(&eval)) { continue; }
+        let oracle = RegionOracle::new(uis);
+        let cs_labels: Vec<bool> = ctx.cs().iter().map(|c| oracle.label(c)).collect();
+        let vr = lte_core::feature::uis_feature_vector(&cs_labels, ctx.ps(), l);
+        let zero = learner.adapt(&vr, &[], 0, 0.0);
+        let cm = ConfusionMatrix::from_pairs(eval.iter().map(|row| {
+            (zero.classifier.predict(&vr, &ctx.encode(row)), oracle.label(row))
+        }));
+        zs_total += cm.f1();
+        zs_n += 1;
+    }
+    println!("  zero-shot F1 = {:.4}", zs_total / zs_n.max(1) as f64);
+}

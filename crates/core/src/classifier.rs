@@ -1,0 +1,484 @@
+//! The basic UIS classifier (§VI-A) with optional embedding conversion.
+//!
+//! Three building blocks, all fully connected:
+//!
+//! * **UIS feature embedding** `f_θR : R^ku → R^Ne` over the expanded
+//!   interest vector `vR` (Eq. 3),
+//! * **data tuple embedding** `f_θτ : R^Nr → R^Ne` over the preprocessed
+//!   tuple vector `vτ` (Eq. 4),
+//! * **classification block** `f_θclf` over the concatenation
+//!   `[embR, embτ]` producing the interestingness logit (Eq. 5).
+//!
+//! When memory augmentation is active, a task-wise conversion matrix
+//! `Mcp ∈ R^{Ne×2Ne}` transforms the concatenation before classification
+//! (Eq. 9); `Mcp` is read from the global conversion memory per task and
+//! locally fine-tuned by backpropagation together with θ (§VI-B).
+
+use lte_nn::loss::bce_with_logits;
+use lte_nn::{Activation, Matrix, Mlp, MlpCache};
+use rand::Rng;
+
+/// Architecture of the UIS classifier.
+#[derive(Debug, Clone)]
+pub struct ClassifierConfig {
+    /// UIS-feature input width (`ku`).
+    pub ku: usize,
+    /// Tuple-feature input width (`Nr`, encoder dependent).
+    pub nr: usize,
+    /// Embedding size `Ne`.
+    pub ne: usize,
+    /// Hidden width of the classification block.
+    pub clf_hidden: usize,
+    /// Insert the `Ne × 2Ne` conversion matrix before classification
+    /// (the memory-augmented variant).
+    pub use_conversion: bool,
+}
+
+impl ClassifierConfig {
+    /// Classification-block input width: `Ne` with conversion, `2Ne` without.
+    pub fn clf_input(&self) -> usize {
+        if self.use_conversion {
+            self.ne
+        } else {
+            2 * self.ne
+        }
+    }
+}
+
+/// One labeled training example: encoded tuple features plus label.
+pub type Example = (Vec<f64>, bool);
+
+/// Forward-pass cache for backprop.
+pub struct ForwardCache {
+    r_cache: MlpCache,
+    t_cache: MlpCache,
+    concat: Vec<f64>,
+    converted: Option<Vec<f64>>,
+    clf_cache: MlpCache,
+    /// The produced logit.
+    pub logit: f64,
+}
+
+/// Parameter gradients of one backward pass, grouped per block.
+pub struct Grads {
+    /// Flat gradient of the UIS-feature embedding block.
+    pub g_r: Vec<f64>,
+    /// Flat gradient of the tuple embedding block.
+    pub g_t: Vec<f64>,
+    /// Flat gradient of the classification block.
+    pub g_clf: Vec<f64>,
+    /// Gradient of the conversion matrix (present iff conversion is used).
+    pub g_conv: Option<Matrix>,
+}
+
+impl Grads {
+    /// Zeroed gradients matching a classifier's shapes.
+    pub fn zeros_like(c: &UisClassifier) -> Self {
+        Self {
+            g_r: vec![0.0; c.r_block.param_count()],
+            g_t: vec![0.0; c.t_block.param_count()],
+            g_clf: vec![0.0; c.clf_block.param_count()],
+            g_conv: c
+                .conversion
+                .as_ref()
+                .map(|m| Matrix::zeros(m.rows(), m.cols())),
+        }
+    }
+
+    /// Scale all gradients in place.
+    pub fn scale(&mut self, s: f64) {
+        for g in self.g_r.iter_mut() {
+            *g *= s;
+        }
+        for g in self.g_t.iter_mut() {
+            *g *= s;
+        }
+        for g in self.g_clf.iter_mut() {
+            *g *= s;
+        }
+        if let Some(m) = &mut self.g_conv {
+            m.scale(s);
+        }
+    }
+
+    /// Accumulate another gradient set (shapes must match).
+    pub fn add(&mut self, other: &Grads) {
+        for (a, b) in self.g_r.iter_mut().zip(&other.g_r) {
+            *a += b;
+        }
+        for (a, b) in self.g_t.iter_mut().zip(&other.g_t) {
+            *a += b;
+        }
+        for (a, b) in self.g_clf.iter_mut().zip(&other.g_clf) {
+            *a += b;
+        }
+        if let (Some(a), Some(b)) = (&mut self.g_conv, &other.g_conv) {
+            a.add_scaled(b, 1.0);
+        }
+    }
+}
+
+/// The three-block UIS classifier.
+#[derive(Debug, Clone)]
+pub struct UisClassifier {
+    /// UIS-feature embedding block (`f_θR`).
+    pub r_block: Mlp,
+    /// Tuple embedding block (`f_θτ`).
+    pub t_block: Mlp,
+    /// Classification block (`f_θclf`), outputs a logit.
+    pub clf_block: Mlp,
+    /// Task-wise conversion matrix `Mcp` (memory-augmented variant only).
+    pub conversion: Option<Matrix>,
+    cfg: ClassifierConfig,
+}
+
+impl UisClassifier {
+    /// Randomly initialized classifier with the given architecture.
+    pub fn new<R: Rng + ?Sized>(cfg: ClassifierConfig, rng: &mut R) -> Self {
+        let r_block = Mlp::new(&[cfg.ku, cfg.ne], Activation::Relu, Activation::Relu, rng);
+        let t_block = Mlp::new(&[cfg.nr, cfg.ne], Activation::Relu, Activation::Relu, rng);
+        let clf_block = Mlp::new(
+            &[cfg.clf_input(), cfg.clf_hidden, 1],
+            Activation::Relu,
+            Activation::Identity,
+            rng,
+        );
+        let conversion = if cfg.use_conversion {
+            // Near-identity initialization: [I | I] / 2 plus noise, so the
+            // conversion starts as an average of the two embeddings rather
+            // than scrambling them.
+            let ne = cfg.ne;
+            let mut m = Matrix::uniform(ne, 2 * ne, 0.02, rng);
+            for i in 0..ne {
+                m.set(i, i, m.get(i, i) + 0.5);
+                m.set(i, ne + i, m.get(i, ne + i) + 0.5);
+            }
+            Some(m)
+        } else {
+            None
+        };
+        Self {
+            r_block,
+            t_block,
+            clf_block,
+            conversion,
+            cfg,
+        }
+    }
+
+    /// The architecture this classifier was built with.
+    pub fn config(&self) -> &ClassifierConfig {
+        &self.cfg
+    }
+
+    /// Forward pass producing the interestingness logit.
+    ///
+    /// # Panics
+    /// Panics when input widths disagree with the architecture.
+    pub fn forward(&self, v_r: &[f64], v_t: &[f64]) -> ForwardCache {
+        assert_eq!(v_r.len(), self.cfg.ku, "vR width mismatch");
+        assert_eq!(v_t.len(), self.cfg.nr, "vτ width mismatch");
+        let r_cache = self.r_block.forward_cache(v_r);
+        let t_cache = self.t_block.forward_cache(v_t);
+        let mut concat = Vec::with_capacity(2 * self.cfg.ne);
+        concat.extend_from_slice(r_cache.output());
+        concat.extend_from_slice(t_cache.output());
+
+        let (clf_in, converted) = match &self.conversion {
+            Some(mcp) => {
+                let z = mcp.matvec(&concat);
+                (z.clone(), Some(z))
+            }
+            None => (concat.clone(), None),
+        };
+        let clf_cache = self.clf_block.forward_cache(&clf_in);
+        let logit = clf_cache.output()[0];
+        ForwardCache {
+            r_cache,
+            t_cache,
+            concat,
+            converted,
+            clf_cache,
+            logit,
+        }
+    }
+
+    /// Convenience: logit only.
+    pub fn logit(&self, v_r: &[f64], v_t: &[f64]) -> f64 {
+        self.forward(v_r, v_t).logit
+    }
+
+    /// Convenience: hard prediction (`logit > 0`).
+    pub fn predict(&self, v_r: &[f64], v_t: &[f64]) -> bool {
+        self.logit(v_r, v_t) > 0.0
+    }
+
+    /// Backward pass from `dL/dlogit`, accumulating into `grads`.
+    pub fn backward(&self, cache: &ForwardCache, dlogit: f64, grads: &mut Grads) {
+        let d_clf_in = self
+            .clf_block
+            .backward(&cache.clf_cache, &[dlogit], &mut grads.g_clf);
+
+        let d_concat = match (&self.conversion, &cache.converted) {
+            (Some(mcp), Some(_)) => {
+                // z = Mcp·cat: dMcp = d_z ⊗ cat, dcat = Mcpᵀ·d_z.
+                if let Some(gm) = &mut grads.g_conv {
+                    gm.add_outer(&d_clf_in, &cache.concat, 1.0);
+                }
+                mcp.matvec_t(&d_clf_in)
+            }
+            _ => d_clf_in,
+        };
+
+        let ne = self.cfg.ne;
+        self.r_block
+            .backward(&cache.r_cache, &d_concat[..ne], &mut grads.g_r);
+        self.t_block
+            .backward(&cache.t_cache, &d_concat[ne..], &mut grads.g_t);
+    }
+
+    /// BCE loss and gradient of one example; accumulates into `grads` and
+    /// returns the loss.
+    pub fn loss_backward(&self, v_r: &[f64], example: &Example, grads: &mut Grads) -> f64 {
+        self.loss_backward_weighted(v_r, example, grads, 1.0)
+    }
+
+    /// [`UisClassifier::loss_backward`] with a positive-class weight.
+    ///
+    /// Few-shot exploration labels are heavily imbalanced when the interest
+    /// region is small (a handful of positives among `B` labels); weighting
+    /// positive examples by `pos_weight > 1` keeps the adapted classifier
+    /// from collapsing to the all-negative prediction.
+    pub fn loss_backward_weighted(
+        &self,
+        v_r: &[f64],
+        example: &Example,
+        grads: &mut Grads,
+        pos_weight: f64,
+    ) -> f64 {
+        let cache = self.forward(v_r, &example.0);
+        let target = if example.1 { 1.0 } else { 0.0 };
+        let (mut loss, mut dlogit) = bce_with_logits(cache.logit, target);
+        if example.1 && pos_weight != 1.0 {
+            loss *= pos_weight;
+            dlogit *= pos_weight;
+        }
+        self.backward(&cache, dlogit, grads);
+        loss
+    }
+
+    /// Positive-class weight for a labeled set: `sqrt(n_neg / n_pos)`,
+    /// clamped to `[1, 5]` — a gentle re-balancing that never *downweights*
+    /// positives and caps the correction for extreme imbalance.
+    pub fn balance_weight(examples: &[Example]) -> f64 {
+        let pos = examples.iter().filter(|(_, y)| *y).count();
+        let neg = examples.len() - pos;
+        if pos == 0 || neg == 0 {
+            1.0
+        } else {
+            (neg as f64 / pos as f64).sqrt().clamp(1.0, 5.0)
+        }
+    }
+
+    /// Apply an SGD step to all blocks (and `Mcp` if present).
+    pub fn sgd_step(&mut self, grads: &Grads, lr: f64) {
+        self.r_block.sgd_step(&grads.g_r, lr);
+        self.t_block.sgd_step(&grads.g_t, lr);
+        self.clf_block.sgd_step(&grads.g_clf, lr);
+        if let (Some(m), Some(g)) = (&mut self.conversion, &grads.g_conv) {
+            m.add_scaled(g, -lr);
+        }
+    }
+
+    /// Train on labeled examples with per-sample SGD — used for local
+    /// adaptation (Eq. 12) and for the from-scratch `Basic` variant.
+    /// Returns the average loss of the *final* pass.
+    pub fn train_local(
+        &mut self,
+        v_r: &[f64],
+        examples: &[Example],
+        steps: usize,
+        lr: f64,
+    ) -> f64 {
+        self.train_local_weighted(v_r, examples, steps, lr, 1.0)
+    }
+
+    /// [`UisClassifier::train_local`] with a positive-class weight (see
+    /// [`UisClassifier::balance_weight`]).
+    pub fn train_local_weighted(
+        &mut self,
+        v_r: &[f64],
+        examples: &[Example],
+        steps: usize,
+        lr: f64,
+        pos_weight: f64,
+    ) -> f64 {
+        let mut last_avg = 0.0;
+        for _ in 0..steps {
+            let mut total = 0.0;
+            for ex in examples {
+                let mut grads = Grads::zeros_like(self);
+                total += self.loss_backward_weighted(v_r, ex, &mut grads, pos_weight);
+                self.sgd_step(&grads, lr);
+            }
+            last_avg = total / examples.len().max(1) as f64;
+        }
+        last_avg
+    }
+
+    /// Average BCE loss over examples (no updates).
+    pub fn loss_on(&self, v_r: &[f64], examples: &[Example]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        examples
+            .iter()
+            .map(|(x, y)| {
+                let logit = self.logit(v_r, x);
+                bce_with_logits(logit, if *y { 1.0 } else { 0.0 }).0
+            })
+            .sum::<f64>()
+            / examples.len() as f64
+    }
+
+    /// Classification accuracy over examples.
+    pub fn accuracy_on(&self, v_r: &[f64], examples: &[Example]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let correct = examples
+            .iter()
+            .filter(|(x, y)| self.predict(v_r, x) == *y)
+            .count();
+        correct as f64 / examples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lte_data::rng::seeded;
+
+    fn cfg(use_conversion: bool) -> ClassifierConfig {
+        ClassifierConfig {
+            ku: 8,
+            nr: 6,
+            ne: 10,
+            clf_hidden: 12,
+            use_conversion,
+        }
+    }
+
+    /// Toy task: tuple interesting iff feature 0 > 0.5 (vR held constant).
+    fn toy_examples() -> Vec<Example> {
+        let mut ex = Vec::new();
+        for i in 0..40 {
+            let v = i as f64 / 40.0;
+            let x = vec![v, 1.0 - v, 0.3, v * v, 0.5, 0.1];
+            ex.push((x, v > 0.5));
+        }
+        ex
+    }
+
+    #[test]
+    fn forward_shapes_and_clf_input() {
+        assert_eq!(cfg(true).clf_input(), 10);
+        assert_eq!(cfg(false).clf_input(), 20);
+        let mut rng = seeded(0);
+        let c = UisClassifier::new(cfg(true), &mut rng);
+        let cache = c.forward(&[0.0; 8], &[0.0; 6]);
+        assert!(cache.logit.is_finite());
+        assert!(c.conversion.is_some());
+        let c = UisClassifier::new(cfg(false), &mut rng);
+        assert!(c.conversion.is_none());
+    }
+
+    #[test]
+    fn training_fits_toy_task_with_and_without_conversion() {
+        for use_conv in [false, true] {
+            let mut rng = seeded(1);
+            let mut c = UisClassifier::new(cfg(use_conv), &mut rng);
+            let v_r = vec![1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0];
+            let examples = toy_examples();
+            let before = c.accuracy_on(&v_r, &examples);
+            c.train_local(&v_r, &examples, 60, 0.05);
+            let after = c.accuracy_on(&v_r, &examples);
+            assert!(
+                after >= 0.9,
+                "conversion={use_conv}: accuracy {before} -> {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let mut rng = seeded(2);
+        let mut c = UisClassifier::new(cfg(true), &mut rng);
+        let v_r = vec![0.0; 8];
+        let examples = toy_examples();
+        let before = c.loss_on(&v_r, &examples);
+        c.train_local(&v_r, &examples, 30, 0.05);
+        let after = c.loss_on(&v_r, &examples);
+        assert!(after < before, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_through_all_blocks() {
+        let mut rng = seeded(3);
+        let c = UisClassifier::new(cfg(true), &mut rng);
+        let v_r: Vec<f64> = (0..8).map(|i| (i % 2) as f64).collect();
+        let x: Vec<f64> = (0..6).map(|i| 0.1 * i as f64).collect();
+        let example = (x, true);
+
+        let mut grads = Grads::zeros_like(&c);
+        c.loss_backward(&v_r, &example, &mut grads);
+
+        // Check the conversion-matrix gradient numerically (the most
+        // hand-written part of the backward pass).
+        let h = 1e-6;
+        let mcp = c.conversion.clone().unwrap();
+        let g = grads.g_conv.as_ref().unwrap();
+        for idx in [0usize, 5, 37, mcp.rows() * mcp.cols() - 1] {
+            let mut plus = c.clone();
+            let mut m = mcp.clone();
+            m.data_mut()[idx] += h;
+            plus.conversion = Some(m);
+            let mut minus = c.clone();
+            let mut m = mcp.clone();
+            m.data_mut()[idx] -= h;
+            minus.conversion = Some(m);
+            let loss = |cl: &UisClassifier| cl.loss_on(&v_r, std::slice::from_ref(&example));
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * h);
+            let analytic = g.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "Mcp[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn grads_scale_and_add() {
+        let mut rng = seeded(4);
+        let c = UisClassifier::new(cfg(true), &mut rng);
+        let v_r = vec![1.0; 8];
+        let ex = (vec![0.5; 6], false);
+        let mut a = Grads::zeros_like(&c);
+        c.loss_backward(&v_r, &ex, &mut a);
+        let mut b = Grads::zeros_like(&c);
+        b.add(&a);
+        b.add(&a);
+        b.scale(0.5);
+        for (x, y) in a.g_r.iter().zip(&b.g_r) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vR width mismatch")]
+    fn wrong_vr_width_panics() {
+        let mut rng = seeded(5);
+        let c = UisClassifier::new(cfg(false), &mut rng);
+        c.forward(&[0.0; 3], &[0.0; 6]);
+    }
+}

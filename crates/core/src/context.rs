@@ -1,0 +1,250 @@
+//! Per-meta-subspace offline state (§V-B).
+//!
+//! A [`SubspaceContext`] is everything LTE precomputes for one meta-subspace
+//! before any meta-task can be generated or any user arrives:
+//!
+//! * a clustering sample of the subspace's tuples (≤1%, bounded),
+//! * three k-means center sets: `Cu` (UIS construction), `Cs` (support set
+//!   = online initial tuples), `Cq` (query set),
+//! * the proximity matrices `Pu` (`ku × ku`) and `Ps` (`ks × ku`),
+//! * the fitted tabular encoder (§VII-A) mapping raw subspace rows to
+//!   classifier inputs `vτ`.
+
+use crate::config::MetaTaskConfig;
+use lte_cluster::{KMeans, ProximityMatrix};
+use lte_data::rng::{derive_seed, seeded};
+use lte_data::subspace::Subspace;
+use lte_data::table::Table;
+use lte_preprocess::{EncoderConfig, TableEncoder};
+
+/// Offline-computed state of one meta-subspace.
+#[derive(Debug, Clone)]
+pub struct SubspaceContext {
+    subspace: Subspace,
+    sample_rows: Vec<Vec<f64>>,
+    cu: Vec<Vec<f64>>,
+    cs: Vec<Vec<f64>>,
+    cq: Vec<Vec<f64>>,
+    pu: ProximityMatrix,
+    ps: ProximityMatrix,
+    encoder: TableEncoder,
+}
+
+impl SubspaceContext {
+    /// Build the context for `subspace` of `table`.
+    ///
+    /// Runs the clustering step of Algorithm 1: three independent k-means
+    /// rounds on a fresh sample, plus the two proximity matrices, plus the
+    /// Algorithm-3 encoder fit.
+    pub fn build(
+        table: &Table,
+        subspace: Subspace,
+        task_cfg: &MetaTaskConfig,
+        encoder_cfg: &EncoderConfig,
+        seed: u64,
+    ) -> Self {
+        let sub_table = subspace
+            .project_table(table)
+            .expect("subspace indices must be valid for the table");
+
+        let mut rng = seeded(derive_seed(seed, 0));
+        let sample_table = {
+            let frac_rows = ((sub_table.n_rows() as f64 * task_cfg.sample_fraction).ceil()
+                as usize)
+                .clamp(task_cfg.min_sample, task_cfg.max_sample)
+                .min(sub_table.n_rows());
+            sub_table.sample(&mut rng, frac_rows)
+        };
+        let sample_rows = sample_table.to_rows();
+
+        let cu = KMeans::new(task_cfg.ku, derive_seed(seed, 1))
+            .fit(&sample_rows)
+            .centers;
+        let cs = KMeans::new(task_cfg.ks, derive_seed(seed, 2))
+            .fit(&sample_rows)
+            .centers;
+        let cq = KMeans::new(task_cfg.kq, derive_seed(seed, 3))
+            .fit(&sample_rows)
+            .centers;
+
+        let pu = ProximityMatrix::within(&cu);
+        let ps = ProximityMatrix::between(&cs, &cu);
+
+        let encoder = TableEncoder::fit_exact(&sample_table, encoder_cfg);
+
+        Self {
+            subspace,
+            sample_rows,
+            cu,
+            cs,
+            cq,
+            pu,
+            ps,
+            encoder,
+        }
+    }
+
+    /// Reassemble a context from persisted parts. Proximity matrices are
+    /// recomputed from the centers (cheaper to rebuild than to store).
+    pub fn from_parts(
+        subspace: Subspace,
+        sample_rows: Vec<Vec<f64>>,
+        cu: Vec<Vec<f64>>,
+        cs: Vec<Vec<f64>>,
+        cq: Vec<Vec<f64>>,
+        encoder: TableEncoder,
+    ) -> Self {
+        let pu = ProximityMatrix::within(&cu);
+        let ps = ProximityMatrix::between(&cs, &cu);
+        Self {
+            subspace,
+            sample_rows,
+            cu,
+            cs,
+            cq,
+            pu,
+            ps,
+            encoder,
+        }
+    }
+
+    /// The subspace this context summarizes.
+    pub fn subspace(&self) -> &Subspace {
+        &self.subspace
+    }
+
+    /// Subspace dimensionality.
+    pub fn dim(&self) -> usize {
+        self.subspace.dim()
+    }
+
+    /// The clustering sample (raw subspace rows).
+    pub fn sample_rows(&self) -> &[Vec<f64>] {
+        &self.sample_rows
+    }
+
+    /// `Cu` centers (UIS construction summary).
+    pub fn cu(&self) -> &[Vec<f64>] {
+        &self.cu
+    }
+
+    /// `Cs` centers — the support-set tuples, and the initial tuples a user
+    /// labels online (§V-D).
+    pub fn cs(&self) -> &[Vec<f64>] {
+        &self.cs
+    }
+
+    /// `Cq` centers (query-set tuples).
+    pub fn cq(&self) -> &[Vec<f64>] {
+        &self.cq
+    }
+
+    /// `Pu`: `ku × ku` proximities within `Cu`.
+    pub fn pu(&self) -> &ProximityMatrix {
+        &self.pu
+    }
+
+    /// `Ps`: `ks × ku` proximities from `Cs` to `Cu`.
+    pub fn ps(&self) -> &ProximityMatrix {
+        &self.ps
+    }
+
+    /// The fitted per-attribute encoder.
+    pub fn encoder(&self) -> &TableEncoder {
+        &self.encoder
+    }
+
+    /// Encoded width `Nr` of tuple feature vectors.
+    pub fn feature_width(&self) -> usize {
+        self.encoder.width()
+    }
+
+    /// Encode a raw subspace row into the classifier's `vτ`.
+    pub fn encode(&self, row: &[f64]) -> Vec<f64> {
+        self.encoder.encode_row(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LteConfig;
+    use lte_data::generator::generate_sdss;
+
+    fn ctx() -> SubspaceContext {
+        let table = generate_sdss(3000, 0);
+        let cfg = LteConfig::reduced();
+        SubspaceContext::build(
+            &table,
+            Subspace::new(vec![0, 1]),
+            &cfg.task,
+            &cfg.encoder,
+            42,
+        )
+    }
+
+    #[test]
+    fn center_set_sizes_match_config() {
+        let c = ctx();
+        let cfg = LteConfig::reduced();
+        assert_eq!(c.cu().len(), cfg.task.ku);
+        assert_eq!(c.cs().len(), cfg.task.ks);
+        assert_eq!(c.cq().len(), cfg.task.kq);
+        assert_eq!(c.dim(), 2);
+    }
+
+    #[test]
+    fn proximity_shapes_are_ku_ku_and_ks_ku() {
+        let c = ctx();
+        assert_eq!(c.pu().n_rows(), c.cu().len());
+        assert_eq!(c.pu().n_cols(), c.cu().len());
+        assert_eq!(c.ps().n_rows(), c.cs().len());
+        assert_eq!(c.ps().n_cols(), c.cu().len());
+    }
+
+    #[test]
+    fn encoder_round_trips_sample_rows() {
+        let c = ctx();
+        let v = c.encode(&c.sample_rows()[0]);
+        assert_eq!(v.len(), c.feature_width());
+        assert!(c.feature_width() > 2, "multi-modal encoding widens features");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let table = generate_sdss(2000, 1);
+        let cfg = LteConfig::reduced();
+        let a = SubspaceContext::build(
+            &table,
+            Subspace::new(vec![2, 3]),
+            &cfg.task,
+            &cfg.encoder,
+            7,
+        );
+        let b = SubspaceContext::build(
+            &table,
+            Subspace::new(vec![2, 3]),
+            &cfg.task,
+            &cfg.encoder,
+            7,
+        );
+        assert_eq!(a.cu(), b.cu());
+        assert_eq!(a.cs(), b.cs());
+    }
+
+    #[test]
+    fn sample_respects_bounds() {
+        let table = generate_sdss(2000, 2);
+        let mut cfg = LteConfig::reduced();
+        cfg.task.min_sample = 100;
+        cfg.task.max_sample = 150;
+        let c = SubspaceContext::build(
+            &table,
+            Subspace::new(vec![0, 1]),
+            &cfg.task,
+            &cfg.encoder,
+            3,
+        );
+        assert!(c.sample_rows().len() >= 100 && c.sample_rows().len() <= 150);
+    }
+}

@@ -1,0 +1,202 @@
+//! Dynamic maintenance (§V-E).
+//!
+//! "One only needs to check if sampled tuples should be updated to decide
+//! if the meta-tasks and meta-learners should be updated, when the data
+//! distributions of the meta-subspaces change." This module implements
+//! that check: a cheap drift probe comparing fresh data against the
+//! clustering summary a [`SubspaceContext`] was built from, localizing the
+//! decision per subspace so only stale contexts get rebuilt.
+//!
+//! The probe compares two signals between the context's sample and a fresh
+//! sample of the (possibly updated) table:
+//!
+//! * **assignment histogram shift** — each `Cu` center's share of assigned
+//!   tuples, compared by total-variation distance; captures mass moving
+//!   between existing modes;
+//! * **quantization-error growth** — mean distance of fresh tuples to their
+//!   nearest `Cu` center, relative to the context sample's own error;
+//!   captures mass appearing *outside* all existing modes.
+
+use crate::context::SubspaceContext;
+use lte_data::table::Table;
+use rand::Rng;
+
+/// Result of a drift probe on one subspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftReport {
+    /// Total-variation distance between old/new center-assignment
+    /// histograms (0 = identical, 1 = disjoint).
+    pub assignment_shift: f64,
+    /// Fresh-sample quantization error divided by the context sample's
+    /// (1 = unchanged; ≫1 = new mass far from every known center).
+    pub quantization_ratio: f64,
+}
+
+impl DriftReport {
+    /// Decision rule with the given thresholds.
+    pub fn is_stale(&self, max_shift: f64, max_ratio: f64) -> bool {
+        self.assignment_shift > max_shift || self.quantization_ratio > max_ratio
+    }
+}
+
+/// Default assignment-shift threshold.
+pub const DEFAULT_MAX_SHIFT: f64 = 0.25;
+/// Default quantization-growth threshold.
+pub const DEFAULT_MAX_RATIO: f64 = 1.5;
+
+fn nearest_d2(centers: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centers.iter().enumerate() {
+        let d: f64 = c
+            .iter()
+            .zip(p)
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum();
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+fn profile(centers: &[Vec<f64>], rows: &[Vec<f64>]) -> (Vec<f64>, f64) {
+    let mut hist = vec![0.0; centers.len()];
+    let mut err = 0.0;
+    for row in rows {
+        let (c, d2) = nearest_d2(centers, row);
+        hist[c] += 1.0;
+        err += d2.sqrt();
+    }
+    let n = rows.len().max(1) as f64;
+    for h in &mut hist {
+        *h /= n;
+    }
+    (hist, err / n)
+}
+
+/// Probe whether `ctx` still summarizes `table` (projected onto the
+/// context's subspace). `fresh_n` fresh rows are sampled with `rng`.
+pub fn probe_drift<R: Rng + ?Sized>(
+    ctx: &SubspaceContext,
+    table: &Table,
+    fresh_n: usize,
+    rng: &mut R,
+) -> DriftReport {
+    let sub_table = ctx
+        .subspace()
+        .project_table(table)
+        .expect("subspace must fit the table");
+    let fresh = sub_table.sample(rng, fresh_n).to_rows();
+
+    let (old_hist, old_err) = profile(ctx.cu(), ctx.sample_rows());
+    let (new_hist, new_err) = profile(ctx.cu(), &fresh);
+
+    let assignment_shift = 0.5
+        * old_hist
+            .iter()
+            .zip(&new_hist)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>();
+    let quantization_ratio = if old_err <= f64::EPSILON {
+        if new_err <= f64::EPSILON {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        new_err / old_err
+    };
+    DriftReport {
+        assignment_shift,
+        quantization_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LteConfig;
+    use lte_data::generator::generate_sdss;
+    use lte_data::rng::seeded;
+    use lte_data::schema::Schema;
+    use lte_data::subspace::Subspace;
+
+    fn ctx_and_table() -> (SubspaceContext, Table) {
+        let table = generate_sdss(4000, 0);
+        let cfg = LteConfig::reduced();
+        let ctx = SubspaceContext::build(
+            &table,
+            Subspace::new(vec![0, 1]),
+            &cfg.task,
+            &cfg.encoder,
+            61,
+        );
+        (ctx, table)
+    }
+
+    #[test]
+    fn unchanged_data_is_not_stale() {
+        let (ctx, table) = ctx_and_table();
+        let report = probe_drift(&ctx, &table, 500, &mut seeded(1));
+        assert!(report.assignment_shift < 0.2, "{report:?}");
+        assert!(report.quantization_ratio < 1.3, "{report:?}");
+        assert!(!report.is_stale(DEFAULT_MAX_SHIFT, DEFAULT_MAX_RATIO));
+    }
+
+    #[test]
+    fn shifted_distribution_is_stale() {
+        let (ctx, table) = ctx_and_table();
+        // Translate every tuple far outside the summarized region.
+        let schema: Schema = table.schema().clone();
+        let shifted_rows: Vec<Vec<f64>> = table
+            .to_rows()
+            .into_iter()
+            .map(|mut row| {
+                row[0] += 50_000.0;
+                row[1] += 50_000.0;
+                row
+            })
+            .collect();
+        let shifted = Table::from_rows(schema, &shifted_rows).expect("table");
+        let report = probe_drift(&ctx, &shifted, 500, &mut seeded(2));
+        assert!(
+            report.quantization_ratio > DEFAULT_MAX_RATIO,
+            "{report:?}"
+        );
+        assert!(report.is_stale(DEFAULT_MAX_SHIFT, DEFAULT_MAX_RATIO));
+    }
+
+    #[test]
+    fn mode_mass_shift_is_detected() {
+        let (ctx, table) = ctx_and_table();
+        // Keep only tuples from the left half of the rowc domain: mass
+        // collapses onto a subset of centers without growing distances.
+        let schema: Schema = table.schema().clone();
+        let rows: Vec<Vec<f64>> = table
+            .to_rows()
+            .into_iter()
+            .filter(|row| row[0] < 800.0)
+            .collect();
+        let filtered = Table::from_rows(schema, &rows).expect("table");
+        let report = probe_drift(&ctx, &filtered, 500, &mut seeded(3));
+        assert!(report.assignment_shift > 0.1, "{report:?}");
+    }
+
+    #[test]
+    fn report_thresholds_are_independent() {
+        let r = DriftReport {
+            assignment_shift: 0.3,
+            quantization_ratio: 1.0,
+        };
+        assert!(r.is_stale(0.25, 1.5));
+        assert!(!r.is_stale(0.4, 1.5));
+        let r = DriftReport {
+            assignment_shift: 0.0,
+            quantization_ratio: 2.0,
+        };
+        assert!(r.is_stale(0.25, 1.5));
+    }
+}

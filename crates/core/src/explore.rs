@@ -1,0 +1,296 @@
+//! Online exploration of one subspace (§III-B, initial exploration module).
+//!
+//! The flow for a fresh user: (1) present the `ks` initial tuples (= the
+//! `Cs` cluster centers, exactly the support-set construction of §V-D) plus
+//! `Δ` random tuples; (2) collect labels from the (simulated) user;
+//! (3) build the UIS feature vector from the `Cs` labels; (4) fast-adapt the
+//! pre-trained meta-learner with a few local steps — or train a classifier
+//! from scratch for the `Basic` ablation; (5) predict the UIS over an
+//! evaluation pool; (6) for `Meta*`, revise predictions with the few-shot
+//! optimizer (§VII-B).
+
+use crate::classifier::{ClassifierConfig, Example, UisClassifier};
+use crate::config::LteConfig;
+use crate::context::SubspaceContext;
+use crate::feature::{expansion_degree, uis_feature_vector};
+use crate::meta_learner::MetaLearner;
+use crate::oracle::SubspaceOracle;
+use crate::refine::build_subregions;
+use lte_data::rng::seeded;
+use rand::RngExt;
+use std::time::Instant;
+
+/// Which LTE variant to run (§VIII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Basic UIS classifier, trained from scratch on the initial labels.
+    Basic,
+    /// Meta-learner fast-adapted from the learned initialization.
+    Meta,
+    /// `Meta` plus the few-shot prediction optimizer.
+    MetaStar,
+}
+
+impl Variant {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Basic => "Basic",
+            Variant::Meta => "Meta",
+            Variant::MetaStar => "Meta*",
+        }
+    }
+}
+
+/// Result of exploring one subspace.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// Predicted interestingness per evaluation row.
+    pub predictions: Vec<bool>,
+    /// Classifier logits per evaluation row (before geometric revision).
+    pub scores: Vec<f64>,
+    /// Labels consumed (`ks + Δ`).
+    pub labels_used: usize,
+    /// Wall-clock seconds spent on online adaptation + prediction.
+    pub online_seconds: f64,
+    /// The labels the user gave to the `Cs` initial tuples.
+    pub cs_labels: Vec<bool>,
+}
+
+/// Run the online exploration of one subspace.
+///
+/// * `ctx` — the offline-precomputed subspace state,
+/// * `learner` — the pre-trained meta-learner (required for
+///   `Meta`/`MetaStar`; ignored by `Basic`),
+/// * `oracle` — the simulated user,
+/// * `eval_rows` — raw subspace rows to predict (the retrieval pool),
+/// * `seed` — drives the Δ random initial tuples and `Basic`'s
+///   initialization.
+///
+/// # Panics
+/// Panics when `learner` is `None` for the meta variants.
+pub fn explore_subspace(
+    ctx: &SubspaceContext,
+    learner: Option<&MetaLearner>,
+    oracle: &dyn SubspaceOracle,
+    eval_rows: &[Vec<f64>],
+    cfg: &LteConfig,
+    variant: Variant,
+    seed: u64,
+) -> ExploreOutcome {
+    let mut rng = seeded(seed);
+
+    // (1, 2) Initial tuples and user labels. The Cs centers come first —
+    // their labels define the UIS feature vector — then Δ random tuples.
+    let cs_labels: Vec<bool> = ctx.cs().iter().map(|c| oracle.label(c)).collect();
+    let mut examples: Vec<Example> = ctx
+        .cs()
+        .iter()
+        .zip(&cs_labels)
+        .map(|(row, &y)| (ctx.encode(row), y))
+        .collect();
+    let sample = ctx.sample_rows();
+    for _ in 0..cfg.task.delta {
+        let row = &sample[rng.random_range(0..sample.len())];
+        examples.push((ctx.encode(row), oracle.label(row)));
+    }
+    let labels_used = examples.len();
+
+    // (3) UIS feature vector from the Cs labels.
+    let l = expansion_degree(ctx.cu().len(), cfg.net.expansion_frac);
+    let v_r = uis_feature_vector(&cs_labels, ctx.ps(), l);
+
+    // (4, 5) Adapt / train, then predict the evaluation pool. Online label
+    // sets are imbalanced when the interest region is small, so positive
+    // examples are re-weighted (identically for every variant).
+    let pos_weight = UisClassifier::balance_weight(&examples);
+    let start = Instant::now();
+    let classifier = match variant {
+        Variant::Basic => {
+            let arch = ClassifierConfig {
+                ku: ctx.cu().len(),
+                nr: ctx.feature_width(),
+                ne: cfg.net.ne,
+                clf_hidden: cfg.net.clf_hidden,
+                use_conversion: false,
+            };
+            let mut c = UisClassifier::new(arch, &mut rng);
+            c.train_local_weighted(
+                &v_r,
+                &examples,
+                cfg.online.basic_steps,
+                cfg.online.lr,
+                pos_weight,
+            );
+            c
+        }
+        Variant::Meta | Variant::MetaStar => {
+            let learner = learner.expect("meta variants require a trained meta-learner");
+            learner
+                .adapt_weighted(
+                    &v_r,
+                    &examples,
+                    cfg.online.adapt_steps,
+                    cfg.online.lr,
+                    pos_weight,
+                )
+                .classifier
+        }
+    };
+
+    let mut scores = Vec::with_capacity(eval_rows.len());
+    let mut predictions = Vec::with_capacity(eval_rows.len());
+    for row in eval_rows {
+        let logit = classifier.logit(&v_r, &ctx.encode(row));
+        scores.push(logit);
+        predictions.push(logit > 0.0);
+    }
+
+    // (6) Few-shot optimizer for Meta*.
+    if variant == Variant::MetaStar {
+        let regions = build_subregions(ctx, &cs_labels, &cfg.refine);
+        for (row, pred) in eval_rows.iter().zip(predictions.iter_mut()) {
+            *pred = regions.revise(row, *pred);
+        }
+    }
+    let online_seconds = start.elapsed().as_secs_f64();
+
+    ExploreOutcome {
+        predictions,
+        scores,
+        labels_used,
+        online_seconds,
+        cs_labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LteConfig;
+    use crate::meta_task::generate_task_set;
+    use crate::metrics::ConfusionMatrix;
+    use crate::oracle::RegionOracle;
+    use crate::uis::generate_uis;
+    use lte_data::generator::generate_sdss;
+    use lte_data::subspace::Subspace;
+
+    struct Setup {
+        ctx: SubspaceContext,
+        learner: MetaLearner,
+        cfg: LteConfig,
+    }
+
+    fn setup() -> Setup {
+        let table = generate_sdss(3000, 0);
+        let mut cfg = LteConfig::reduced();
+        cfg.train.n_tasks = 120;
+        let ctx = SubspaceContext::build(
+            &table,
+            Subspace::new(vec![0, 1]),
+            &cfg.task,
+            &cfg.encoder,
+            21,
+        );
+        let l = expansion_degree(cfg.task.ku, cfg.net.expansion_frac);
+        let tasks = generate_task_set(
+            &ctx,
+            &cfg.task,
+            l,
+            cfg.train.n_tasks,
+            &mut seeded(22),
+        );
+        let mut learner = MetaLearner::new(
+            cfg.task.ku,
+            ctx.feature_width(),
+            &cfg.net,
+            cfg.train.clone(),
+            23,
+        );
+        learner.train(&tasks);
+        Setup { ctx, learner, cfg }
+    }
+
+    fn f1_of(outcome: &ExploreOutcome, oracle: &RegionOracle, rows: &[Vec<f64>]) -> f64 {
+        ConfusionMatrix::from_pairs(
+            outcome
+                .predictions
+                .iter()
+                .zip(rows)
+                .map(|(&pred, row)| (pred, oracle.label(row))),
+        )
+        .f1()
+    }
+
+    #[test]
+    fn meta_explores_unseen_uis_reasonably() {
+        let s = setup();
+        // A *test* UIS generated from a held-out seed.
+        let uis = generate_uis(
+            s.ctx.cu(),
+            s.ctx.pu(),
+            s.cfg.task.mode,
+            &mut seeded(1000),
+        );
+        let oracle = RegionOracle::new(uis);
+        let eval: Vec<Vec<f64>> = s.ctx.sample_rows().to_vec();
+        let outcome = explore_subspace(
+            &s.ctx,
+            Some(&s.learner),
+            &oracle,
+            &eval,
+            &s.cfg,
+            Variant::Meta,
+            31,
+        );
+        assert_eq!(outcome.labels_used, s.cfg.budget());
+        assert_eq!(outcome.predictions.len(), eval.len());
+        let f1 = f1_of(&outcome, &oracle, &eval);
+        assert!(f1 > 0.3, "meta F1 too low: {f1}");
+    }
+
+    #[test]
+    fn meta_star_revision_changes_far_points_only_to_negative() {
+        let s = setup();
+        let uis = generate_uis(s.ctx.cu(), s.ctx.pu(), s.cfg.task.mode, &mut seeded(1001));
+        let oracle = RegionOracle::new(uis);
+        let eval: Vec<Vec<f64>> = s.ctx.sample_rows()[..200].to_vec();
+        let meta = explore_subspace(
+            &s.ctx, Some(&s.learner), &oracle, &eval, &s.cfg, Variant::Meta, 32,
+        );
+        let star = explore_subspace(
+            &s.ctx, Some(&s.learner), &oracle, &eval, &s.cfg, Variant::MetaStar, 32,
+        );
+        // Same scores (revision is post-hoc), possibly different labels.
+        assert_eq!(meta.scores, star.scores);
+        assert_eq!(meta.cs_labels, star.cs_labels);
+    }
+
+    #[test]
+    fn basic_variant_runs_without_learner() {
+        let s = setup();
+        let uis = generate_uis(s.ctx.cu(), s.ctx.pu(), s.cfg.task.mode, &mut seeded(1002));
+        let oracle = RegionOracle::new(uis);
+        let eval: Vec<Vec<f64>> = s.ctx.sample_rows()[..100].to_vec();
+        let outcome =
+            explore_subspace(&s.ctx, None, &oracle, &eval, &s.cfg, Variant::Basic, 33);
+        assert_eq!(outcome.predictions.len(), 100);
+        assert!(outcome.online_seconds >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "meta variants require")]
+    fn meta_without_learner_panics() {
+        let s = setup();
+        let uis = generate_uis(s.ctx.cu(), s.ctx.pu(), s.cfg.task.mode, &mut seeded(1003));
+        let oracle = RegionOracle::new(uis);
+        explore_subspace(&s.ctx, None, &oracle, &[], &s.cfg, Variant::Meta, 34);
+    }
+
+    #[test]
+    fn variant_names_match_paper() {
+        assert_eq!(Variant::Basic.name(), "Basic");
+        assert_eq!(Variant::Meta.name(), "Meta");
+        assert_eq!(Variant::MetaStar.name(), "Meta*");
+    }
+}

@@ -1,0 +1,107 @@
+//! UIS feature vectors and their heuristic expansion (§VI-A).
+//!
+//! The classifier's first input summarizes *which parts of the subspace the
+//! user finds interesting*: one bit per `Cs` cluster center, set when the
+//! center's label is positive. Because `ks` is small (it equals the number
+//! of tuples a user will label), the raw vector is sparse; the paper
+//! therefore *expands* it over the richer `Cu` summary: every positive `Cs`
+//! bit turns on the `l` nearest `Cu` centers (via the precomputed `Ps`
+//! matrix), and the final feature vector `vR ∈ R^ku` is the union of those
+//! neighbourhoods. Bit positions are fixed across training and online use,
+//! which is what makes UIS features comparable across tasks.
+
+use lte_cluster::ProximityMatrix;
+
+/// Build the expanded UIS feature vector `vR ∈ {0,1}^ku`.
+///
+/// * `cs_labels[i]` — the label of the i-th `Cs` center (support tuple),
+/// * `ps` — the `ks × ku` proximity matrix,
+/// * `l` — expansion degree (the paper defaults to `0.1·ku`).
+///
+/// # Panics
+/// Panics when `cs_labels.len() != ps.n_rows()`.
+pub fn uis_feature_vector(cs_labels: &[bool], ps: &ProximityMatrix, l: usize) -> Vec<f64> {
+    assert_eq!(
+        cs_labels.len(),
+        ps.n_rows(),
+        "one label per Cs center required"
+    );
+    let ku = ps.n_cols();
+    let mut v = vec![0.0; ku];
+    for (i, &positive) in cs_labels.iter().enumerate() {
+        if !positive {
+            continue;
+        }
+        for j in ps.k_nearest(i, l.max(1), true) {
+            v[j] = 1.0;
+        }
+    }
+    v
+}
+
+/// Expansion degree `l` from the configured fraction of `ku`.
+pub fn expansion_degree(ku: usize, frac: f64) -> usize {
+    ((ku as f64 * frac).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps_for(cs: &[Vec<f64>], cu: &[Vec<f64>]) -> ProximityMatrix {
+        ProximityMatrix::between(cs, cu)
+    }
+
+    #[test]
+    fn all_negative_labels_give_zero_vector() {
+        let cs = vec![vec![0.0], vec![5.0]];
+        let cu: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let v = uis_feature_vector(&[false, false], &ps_for(&cs, &cu), 3);
+        assert_eq!(v, vec![0.0; 10]);
+    }
+
+    #[test]
+    fn positive_label_lights_nearest_cu_bits() {
+        let cs = vec![vec![0.0], vec![9.0]];
+        let cu: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let v = uis_feature_vector(&[true, false], &ps_for(&cs, &cu), 3);
+        // Nearest three Cu centers to 0.0 are 0, 1, 2.
+        assert_eq!(&v[..3], &[1.0, 1.0, 1.0]);
+        assert_eq!(v[3..].iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn overlapping_expansions_union() {
+        let cs = vec![vec![2.0], vec![3.0]];
+        let cu: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        let v = uis_feature_vector(&[true, true], &ps_for(&cs, &cu), 2);
+        // 2.0 → {2, 1 or 3}; 3.0 → {3, 2 or 4}: union has 3-4 bits but each
+        // bit stays binary.
+        assert!(v.iter().all(|&b| b == 0.0 || b == 1.0));
+        assert!(v.iter().sum::<f64>() >= 3.0);
+    }
+
+    #[test]
+    fn l_is_clamped_to_at_least_one() {
+        let cs = vec![vec![0.0]];
+        let cu: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let v = uis_feature_vector(&[true], &ps_for(&cs, &cu), 0);
+        assert_eq!(v.iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn expansion_degree_rounds_and_floors() {
+        assert_eq!(expansion_degree(100, 0.1), 10);
+        assert_eq!(expansion_degree(40, 0.1), 4);
+        assert_eq!(expansion_degree(3, 0.1), 1);
+        assert_eq!(expansion_degree(0, 0.5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per Cs center")]
+    fn label_count_mismatch_panics() {
+        let cs = vec![vec![0.0]];
+        let cu = vec![vec![0.0]];
+        uis_feature_vector(&[true, false], &ps_for(&cs, &cu), 1);
+    }
+}

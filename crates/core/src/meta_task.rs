@@ -1,0 +1,232 @@
+//! Meta-task generation (§V, Algorithm 1).
+//!
+//! A meta-task `t : (R^M_t, S^sp_t, S^qs_t)` simulates one exploration
+//! episode without any user: the simulated UIS plays the role of the
+//! unknown interest region, the support set simulates the user's labelled
+//! tuples, and the query set simulates evaluating the adapted classifier.
+//! Support tuples are the `ks` centers of `Cs` plus `Δ` random sample
+//! tuples; query tuples are the `kq` centers of `Cq` plus `Δ` random
+//! tuples (§V-D). Labels come from UIS membership.
+
+use crate::classifier::Example;
+use crate::config::MetaTaskConfig;
+use crate::context::SubspaceContext;
+use crate::feature::uis_feature_vector;
+use crate::uis::{generate_uis, UisMode};
+use lte_geom::RegionUnion;
+use rand::{Rng, RngExt};
+
+/// One generated meta-task.
+#[derive(Debug, Clone)]
+pub struct MetaTask {
+    /// The simulated UIS `R^M_t`.
+    pub uis: RegionUnion,
+    /// Expanded UIS feature vector `vR ∈ R^ku` (§VI-A).
+    pub v_r: Vec<f64>,
+    /// Support set: encoded tuple features + labels (`ks + Δ` examples).
+    pub support: Vec<Example>,
+    /// Query set: encoded tuple features + labels (`kq + Δ` examples).
+    pub query: Vec<Example>,
+    /// Labels of the `Cs` centers (the first `ks` support examples) — kept
+    /// for UIS-feature reconstruction and the few-shot optimizer.
+    pub cs_labels: Vec<bool>,
+}
+
+impl MetaTask {
+    /// Fraction of positive support labels.
+    pub fn support_positive_rate(&self) -> f64 {
+        if self.support.is_empty() {
+            return 0.0;
+        }
+        self.support.iter().filter(|(_, y)| *y).count() as f64 / self.support.len() as f64
+    }
+
+    /// True when the support set contains both classes (trainable task).
+    pub fn is_balanced(&self) -> bool {
+        let rate = self.support_positive_rate();
+        rate > 0.0 && rate < 1.0
+    }
+}
+
+/// Generate one meta-task on a subspace context.
+///
+/// `expansion_l` is the UIS-feature expansion degree (§VI-A).
+pub fn generate_task<R: Rng + ?Sized>(
+    ctx: &SubspaceContext,
+    mode: UisMode,
+    delta: usize,
+    expansion_l: usize,
+    rng: &mut R,
+) -> MetaTask {
+    let uis = generate_uis(ctx.cu(), ctx.pu(), mode, rng);
+
+    let cs_labels: Vec<bool> = ctx.cs().iter().map(|c| uis.contains(c)).collect();
+    let v_r = uis_feature_vector(&cs_labels, ctx.ps(), expansion_l);
+
+    let mut support: Vec<Example> = ctx
+        .cs()
+        .iter()
+        .zip(&cs_labels)
+        .map(|(row, &y)| (ctx.encode(row), y))
+        .collect();
+    append_random_examples(ctx, &uis, delta, rng, &mut support);
+
+    let mut query: Vec<Example> = ctx
+        .cq()
+        .iter()
+        .map(|row| (ctx.encode(row), uis.contains(row)))
+        .collect();
+    append_random_examples(ctx, &uis, delta, rng, &mut query);
+
+    MetaTask {
+        uis,
+        v_r,
+        support,
+        query,
+        cs_labels,
+    }
+}
+
+/// Append `Δ` random sample tuples, labeled against the UIS (§V-D: "to
+/// increase the generality of meta-training").
+fn append_random_examples<R: Rng + ?Sized>(
+    ctx: &SubspaceContext,
+    uis: &RegionUnion,
+    delta: usize,
+    rng: &mut R,
+    out: &mut Vec<Example>,
+) {
+    let rows = ctx.sample_rows();
+    for _ in 0..delta {
+        let row = &rows[rng.random_range(0..rows.len())];
+        out.push((ctx.encode(row), uis.contains(row)));
+    }
+}
+
+/// Generate a meta-task set of size `n`, retrying degenerate tasks whose
+/// support set is single-class (untrainable few-shot episodes) up to
+/// `cfg.max_uis_retries` times each.
+pub fn generate_task_set<R: Rng + ?Sized>(
+    ctx: &SubspaceContext,
+    cfg: &MetaTaskConfig,
+    expansion_l: usize,
+    n: usize,
+    rng: &mut R,
+) -> Vec<MetaTask> {
+    let mut tasks = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut task = generate_task(ctx, cfg.mode, cfg.delta, expansion_l, rng);
+        let mut tries = 0;
+        while !task.is_balanced() && tries < cfg.max_uis_retries {
+            task = generate_task(ctx, cfg.mode, cfg.delta, expansion_l, rng);
+            tries += 1;
+        }
+        tasks.push(task);
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LteConfig;
+    use lte_data::generator::generate_sdss;
+    use lte_data::rng::seeded;
+    use lte_data::subspace::Subspace;
+
+    fn ctx() -> SubspaceContext {
+        let table = generate_sdss(3000, 0);
+        let cfg = LteConfig::reduced();
+        SubspaceContext::build(
+            &table,
+            Subspace::new(vec![0, 1]),
+            &cfg.task,
+            &cfg.encoder,
+            1,
+        )
+    }
+
+    #[test]
+    fn task_shapes_match_config() {
+        let c = ctx();
+        let cfg = LteConfig::reduced();
+        let mut rng = seeded(0);
+        let t = generate_task(&c, cfg.task.mode, cfg.task.delta, 4, &mut rng);
+        assert_eq!(t.support.len(), cfg.task.ks + cfg.task.delta);
+        assert_eq!(t.query.len(), cfg.task.kq + cfg.task.delta);
+        assert_eq!(t.cs_labels.len(), cfg.task.ks);
+        assert_eq!(t.v_r.len(), cfg.task.ku);
+        // Features have encoder width.
+        assert_eq!(t.support[0].0.len(), c.feature_width());
+    }
+
+    #[test]
+    fn labels_agree_with_uis_membership() {
+        let c = ctx();
+        let cfg = LteConfig::reduced();
+        let mut rng = seeded(1);
+        let t = generate_task(&c, cfg.task.mode, cfg.task.delta, 4, &mut rng);
+        for (center, &label) in c.cs().iter().zip(&t.cs_labels) {
+            assert_eq!(t.uis.contains(center), label);
+        }
+    }
+
+    #[test]
+    fn feature_vector_is_binary_and_nonzero_when_positives_exist() {
+        let c = ctx();
+        let cfg = LteConfig::reduced();
+        let mut rng = seeded(2);
+        let t = generate_task(&c, cfg.task.mode, cfg.task.delta, 4, &mut rng);
+        assert!(t.v_r.iter().all(|&b| b == 0.0 || b == 1.0));
+        if t.cs_labels.iter().any(|&b| b) {
+            assert!(t.v_r.iter().sum::<f64>() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn task_set_mostly_balanced() {
+        let c = ctx();
+        let cfg = LteConfig::reduced();
+        let mut rng = seeded(3);
+        let tasks = generate_task_set(&c, &cfg.task, 4, 30, &mut rng);
+        assert_eq!(tasks.len(), 30);
+        let balanced = tasks.iter().filter(|t| t.is_balanced()).count();
+        assert!(balanced >= 25, "only {balanced}/30 balanced");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let c = ctx();
+        let cfg = LteConfig::reduced();
+        let a = generate_task(&c, cfg.task.mode, cfg.task.delta, 4, &mut seeded(9));
+        let b = generate_task(&c, cfg.task.mode, cfg.task.delta, 4, &mut seeded(9));
+        assert_eq!(a.v_r, b.v_r);
+        assert_eq!(a.cs_labels, b.cs_labels);
+    }
+
+    #[test]
+    fn one_dimensional_subspace_tasks_work_end_to_end() {
+        // 1D subspaces arise from odd-attribute decompositions; UISs become
+        // interval unions and the whole task machinery must still hold.
+        let table = generate_sdss(3000, 1);
+        let cfg = LteConfig::reduced();
+        let c = SubspaceContext::build(
+            &table,
+            Subspace::new(vec![4]), // sky_u alone
+            &cfg.task,
+            &cfg.encoder,
+            2,
+        );
+        assert_eq!(c.dim(), 1);
+        let mut rng = seeded(3);
+        let tasks = generate_task_set(&c, &cfg.task, 4, 20, &mut rng);
+        assert_eq!(tasks.len(), 20);
+        let balanced = tasks.iter().filter(|t| t.is_balanced()).count();
+        assert!(balanced >= 10, "1D tasks mostly balanced, got {balanced}");
+        // Labels still agree with UIS membership on the 1D rows.
+        let t = &tasks[0];
+        for (center, &label) in c.cs().iter().zip(&t.cs_labels) {
+            assert_eq!(t.uis.contains(center), label);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Evaluation metrics (§VIII-A).
+//!
+//! Accuracy is F1 = 2·precision·recall / (precision + recall) over the
+//! evaluation pool; efficiency is the labelling budget `B`.
+
+/// Binary confusion counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// Predicted interesting, actually interesting.
+    pub tp: usize,
+    /// Predicted interesting, actually not.
+    pub fp: usize,
+    /// Predicted not interesting, actually interesting.
+    pub fn_: usize,
+    /// Predicted not interesting, actually not.
+    pub tn: usize,
+}
+
+impl ConfusionMatrix {
+    /// Accumulate from `(prediction, truth)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (bool, bool)>) -> Self {
+        let mut m = ConfusionMatrix::default();
+        for (pred, truth) in pairs {
+            m.record(pred, truth);
+        }
+        m
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, pred: bool, truth: bool) {
+        match (pred, truth) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Precision; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall; 0 when nothing is actually positive.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1-score; 0 when precision + recall is 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Plain accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// Merge another confusion matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = ConfusionMatrix::from_pairs([(true, true), (false, false), (true, true)]);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn hand_computed_f1() {
+        // tp=2, fp=1, fn=1 → p=2/3, r=2/3, f1=2/3.
+        let m = ConfusionMatrix::from_pairs([
+            (true, true),
+            (true, true),
+            (true, false),
+            (false, true),
+            (false, false),
+        ]);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let m = ConfusionMatrix::from_pairs([(false, false)]);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(ConfusionMatrix::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn all_positive_predictions_have_precision_equal_base_rate() {
+        let m = ConfusionMatrix::from_pairs([(true, true), (true, false)]);
+        assert_eq!(m.precision(), 0.5);
+        assert_eq!(m.recall(), 1.0);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = ConfusionMatrix::from_pairs([(true, true)]);
+        let b = ConfusionMatrix::from_pairs([(false, true), (true, false)]);
+        a.merge(&b);
+        assert_eq!(a.tp, 1);
+        assert_eq!(a.fn_, 1);
+        assert_eq!(a.fp, 1);
+        assert_eq!(a.total(), 3);
+    }
+}

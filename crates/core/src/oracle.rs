@@ -1,0 +1,133 @@
+//! Simulated users: ground-truth labelling oracles.
+//!
+//! Collecting real labelling feedback is human-computer interaction and out
+//! of the paper's scope (§III footnote 5); its evaluation labels tuples
+//! against synthetic ground-truth regions generated the same way as
+//! meta-task UISs (§VIII-B/C). [`RegionOracle`] wraps one such region for a
+//! subspace; [`ConjunctiveOracle`] combines per-subspace regions into the
+//! full-space UIR, `Ru = ∧ Ri`.
+
+use lte_data::subspace::Subspace;
+use lte_geom::RegionUnion;
+
+/// Labels subspace rows as interesting / not interesting.
+pub trait SubspaceOracle {
+    /// True when the (raw, un-encoded) subspace row is interesting.
+    fn label(&self, row: &[f64]) -> bool;
+}
+
+/// Ground-truth oracle backed by a region union.
+#[derive(Debug, Clone)]
+pub struct RegionOracle {
+    region: RegionUnion,
+}
+
+impl RegionOracle {
+    /// Wrap a ground-truth region.
+    pub fn new(region: RegionUnion) -> Self {
+        Self { region }
+    }
+
+    /// The wrapped region.
+    pub fn region(&self) -> &RegionUnion {
+        &self.region
+    }
+}
+
+impl SubspaceOracle for RegionOracle {
+    fn label(&self, row: &[f64]) -> bool {
+        self.region.contains(row)
+    }
+}
+
+/// Closure-backed oracle for tests and custom ground truths.
+pub struct FnOracle<F: Fn(&[f64]) -> bool>(pub F);
+
+impl<F: Fn(&[f64]) -> bool> SubspaceOracle for FnOracle<F> {
+    fn label(&self, row: &[f64]) -> bool {
+        (self.0)(row)
+    }
+}
+
+/// Full-space oracle: a tuple is interesting iff *every* subspace projection
+/// falls inside its ground-truth region (the conjunctivity of §III-A).
+#[derive(Debug, Clone)]
+pub struct ConjunctiveOracle {
+    parts: Vec<(Subspace, RegionUnion)>,
+}
+
+impl ConjunctiveOracle {
+    /// Combine per-subspace ground-truth regions.
+    pub fn new(parts: Vec<(Subspace, RegionUnion)>) -> Self {
+        Self { parts }
+    }
+
+    /// The per-subspace parts.
+    pub fn parts(&self) -> &[(Subspace, RegionUnion)] {
+        &self.parts
+    }
+
+    /// Label a full-space row.
+    pub fn label(&self, row: &[f64]) -> bool {
+        self.parts
+            .iter()
+            .all(|(sub, region)| region.contains(&sub.project_row(row)))
+    }
+
+    /// Fraction of interesting rows in a pool (UIR selectivity).
+    pub fn selectivity(&self, rows: &[Vec<f64>]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().filter(|r| self.label(r)).count() as f64 / rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lte_geom::Region;
+
+    fn box_region(x0: f64, y0: f64, x1: f64, y1: f64) -> RegionUnion {
+        RegionUnion::new(vec![Region::Box(lte_geom::Aabb::new(
+            vec![x0, y0],
+            vec![x1, y1],
+        ))])
+    }
+
+    #[test]
+    fn region_oracle_delegates_to_region() {
+        let oracle = RegionOracle::new(box_region(0.0, 0.0, 1.0, 1.0));
+        assert!(oracle.label(&[0.5, 0.5]));
+        assert!(!oracle.label(&[2.0, 2.0]));
+    }
+
+    #[test]
+    fn fn_oracle_wraps_closures() {
+        let oracle = FnOracle(|row: &[f64]| row[0] > 0.0);
+        assert!(oracle.label(&[1.0]));
+        assert!(!oracle.label(&[-1.0]));
+    }
+
+    #[test]
+    fn conjunctive_oracle_requires_all_subspaces() {
+        let oracle = ConjunctiveOracle::new(vec![
+            (Subspace::new(vec![0, 1]), box_region(0.0, 0.0, 1.0, 1.0)),
+            (Subspace::new(vec![2, 3]), box_region(5.0, 5.0, 6.0, 6.0)),
+        ]);
+        assert!(oracle.label(&[0.5, 0.5, 5.5, 5.5]));
+        assert!(!oracle.label(&[0.5, 0.5, 0.0, 0.0]), "second subspace fails");
+        assert!(!oracle.label(&[9.0, 9.0, 5.5, 5.5]), "first subspace fails");
+    }
+
+    #[test]
+    fn selectivity_counts_conjunctive_members() {
+        let oracle = ConjunctiveOracle::new(vec![(
+            Subspace::new(vec![0]),
+            RegionUnion::new(vec![Region::interval(0.0, 1.0)]),
+        )]);
+        let rows = vec![vec![0.5, 9.0], vec![2.0, 9.0]];
+        assert_eq!(oracle.selectivity(&rows), 0.5);
+        assert_eq!(oracle.selectivity(&[]), 0.0);
+    }
+}

@@ -1,0 +1,611 @@
+//! Model persistence: save a trained [`LtePipeline`] to disk and load it
+//! back, byte-for-byte reproducible.
+//!
+//! The offline phase is the expensive part of LTE (minutes to hours of
+//! meta-training at paper scale); a deployable system trains once and
+//! serves many users. This module provides a small, dependency-free,
+//! versioned binary format covering everything the online phase needs:
+//! the configuration, per-subspace contexts (cluster centers + fitted
+//! encoders; proximity matrices are recomputed on load), and per-subspace
+//! meta-learners (φ parameters + memories).
+//!
+//! The format is little-endian with a `LTEP` magic and a version byte;
+//! loading validates structure and fails with a descriptive
+//! [`PersistError`] instead of panicking on corrupt input.
+
+use crate::config::{LteConfig, MetaTaskConfig, NetConfig, OnlineConfig, RefineConfig, TrainConfig};
+use crate::context::SubspaceContext;
+use crate::memory::Memories;
+use crate::meta_learner::MetaLearner;
+use crate::pipeline::LtePipeline;
+use crate::uis::UisMode;
+use lte_data::schema::Attribute;
+use lte_data::subspace::Subspace;
+use lte_nn::Matrix;
+use lte_preprocess::gmm::{Component, Gmm};
+use lte_preprocess::{AttributeEncoder, EncoderConfig, EncoderKind, JenksBreaks, TableEncoder};
+use std::fs;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"LTEP";
+const VERSION: u8 = 1;
+
+/// Errors from saving/loading pipelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// I/O failure (message form).
+    Io(String),
+    /// Input does not start with the `LTEP` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Truncated or structurally invalid payload.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::BadMagic => write!(f, "not an LTE pipeline file"),
+            PersistError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt pipeline file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+// ---------------------------------------------------------------- encoder
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn f64s(&mut self, xs: &[f64]) {
+        self.usize(xs.len());
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+    fn usizes(&mut self, xs: &[usize]) {
+        self.usize(xs.len());
+        for &x in xs {
+            self.usize(x);
+        }
+    }
+    fn rows(&mut self, rows: &[Vec<f64>]) {
+        self.usize(rows.len());
+        for r in rows {
+            self.f64s(r);
+        }
+    }
+    fn matrix(&mut self, m: &Matrix) {
+        self.usize(m.rows());
+        self.usize(m.cols());
+        for &v in m.data() {
+            self.f64(v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- decoder
+
+struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.pos + n > self.data.len() {
+            return Err(PersistError::Corrupt("unexpected end of data"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+    fn usize(&mut self) -> Result<usize, PersistError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| PersistError::Corrupt("length overflow"))
+    }
+    fn len(&mut self, cap: usize, what: &'static str) -> Result<usize, PersistError> {
+        let v = self.usize()?;
+        if v > cap {
+            return Err(PersistError::Corrupt(what));
+        }
+        Ok(v)
+    }
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+    fn bool(&mut self) -> Result<bool, PersistError> {
+        Ok(self.u8()? != 0)
+    }
+    fn str(&mut self) -> Result<String, PersistError> {
+        let n = self.len(1 << 20, "string too long")?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| PersistError::Corrupt("invalid utf-8"))
+    }
+    fn f64s(&mut self) -> Result<Vec<f64>, PersistError> {
+        let n = self.len(1 << 28, "vector too long")?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f64()?);
+        }
+        Ok(v)
+    }
+    fn usizes(&mut self) -> Result<Vec<usize>, PersistError> {
+        let n = self.len(1 << 20, "vector too long")?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.usize()?);
+        }
+        Ok(v)
+    }
+    fn rows(&mut self) -> Result<Vec<Vec<f64>>, PersistError> {
+        let n = self.len(1 << 24, "too many rows")?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f64s()?);
+        }
+        Ok(v)
+    }
+    fn matrix(&mut self) -> Result<Matrix, PersistError> {
+        let rows = self.len(1 << 20, "matrix too tall")?;
+        let cols = self.len(1 << 20, "matrix too wide")?;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or(PersistError::Corrupt("matrix size overflow"))?;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(self.f64()?);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+}
+
+// ----------------------------------------------------------- config codec
+
+fn put_config(e: &mut Enc, c: &LteConfig) {
+    // MetaTaskConfig
+    e.usize(c.task.ku);
+    e.usize(c.task.ks);
+    e.usize(c.task.kq);
+    e.usize(c.task.delta);
+    e.usize(c.task.mode.alpha);
+    e.usize(c.task.mode.psi);
+    e.f64(c.task.sample_fraction);
+    e.usize(c.task.min_sample);
+    e.usize(c.task.max_sample);
+    e.usize(c.task.max_uis_retries);
+    // NetConfig
+    e.usize(c.net.ne);
+    e.usize(c.net.clf_hidden);
+    e.f64(c.net.expansion_frac);
+    // TrainConfig
+    e.usize(c.train.n_tasks);
+    e.usize(c.train.epochs);
+    e.usize(c.train.batch_size);
+    e.usize(c.train.local_steps);
+    e.f64(c.train.rho);
+    e.f64(c.train.lambda);
+    e.usize(c.train.m);
+    e.f64(c.train.eta);
+    e.f64(c.train.beta);
+    e.f64(c.train.gamma);
+    e.f64(c.train.sigma);
+    e.bool(c.train.use_memories);
+    e.f64(c.train.direct_weight);
+    // RefineConfig
+    e.f64(c.refine.nsup_frac);
+    e.f64(c.refine.nsub_frac);
+    // OnlineConfig
+    e.usize(c.online.adapt_steps);
+    e.f64(c.online.lr);
+    e.usize(c.online.basic_steps);
+    // EncoderConfig
+    e.u8(match c.encoder.kind {
+        EncoderKind::Auto => 0,
+        EncoderKind::AllGmm => 1,
+        EncoderKind::AllJkc => 2,
+        EncoderKind::MinMax => 3,
+    });
+    e.usize(c.encoder.n_components);
+    e.usize(c.encoder.n_intervals);
+    e.f64(c.encoder.sample_fraction);
+    e.usize(c.encoder.min_sample);
+}
+
+fn get_config(d: &mut Dec) -> Result<LteConfig, PersistError> {
+    let task = MetaTaskConfig {
+        ku: d.usize()?,
+        ks: d.usize()?,
+        kq: d.usize()?,
+        delta: d.usize()?,
+        mode: {
+            let alpha = d.usize()?;
+            let psi = d.usize()?;
+            if alpha == 0 || psi == 0 {
+                return Err(PersistError::Corrupt("invalid UIS mode"));
+            }
+            UisMode::new(alpha, psi)
+        },
+        sample_fraction: d.f64()?,
+        min_sample: d.usize()?,
+        max_sample: d.usize()?,
+        max_uis_retries: d.usize()?,
+    };
+    let net = NetConfig {
+        ne: d.usize()?,
+        clf_hidden: d.usize()?,
+        expansion_frac: d.f64()?,
+    };
+    let train = TrainConfig {
+        n_tasks: d.usize()?,
+        epochs: d.usize()?,
+        batch_size: d.usize()?,
+        local_steps: d.usize()?,
+        rho: d.f64()?,
+        lambda: d.f64()?,
+        m: d.usize()?,
+        eta: d.f64()?,
+        beta: d.f64()?,
+        gamma: d.f64()?,
+        sigma: d.f64()?,
+        use_memories: d.bool()?,
+        direct_weight: d.f64()?,
+    };
+    let refine = RefineConfig {
+        nsup_frac: d.f64()?,
+        nsub_frac: d.f64()?,
+    };
+    let online = OnlineConfig {
+        adapt_steps: d.usize()?,
+        lr: d.f64()?,
+        basic_steps: d.usize()?,
+    };
+    let encoder = EncoderConfig {
+        kind: match d.u8()? {
+            0 => EncoderKind::Auto,
+            1 => EncoderKind::AllGmm,
+            2 => EncoderKind::AllJkc,
+            3 => EncoderKind::MinMax,
+            _ => return Err(PersistError::Corrupt("unknown encoder kind")),
+        },
+        n_components: d.usize()?,
+        n_intervals: d.usize()?,
+        sample_fraction: d.f64()?,
+        min_sample: d.usize()?,
+    };
+    Ok(LteConfig {
+        task,
+        net,
+        train,
+        refine,
+        online,
+        encoder,
+    })
+}
+
+// ---------------------------------------------------------- encoder codec
+
+fn put_attribute_encoder(e: &mut Enc, enc: &AttributeEncoder) {
+    match enc {
+        AttributeEncoder::Gmm(g) => {
+            e.u8(0);
+            e.usize(g.k());
+            for c in g.components() {
+                e.f64(c.weight);
+                e.f64(c.mean);
+                e.f64(c.std);
+            }
+        }
+        AttributeEncoder::Jenks(j) => {
+            e.u8(1);
+            e.f64s(j.bounds());
+        }
+        AttributeEncoder::MinMax(attr) => {
+            e.u8(2);
+            e.str(&attr.name);
+            e.f64(attr.lo);
+            e.f64(attr.hi);
+        }
+    }
+}
+
+fn get_attribute_encoder(d: &mut Dec) -> Result<AttributeEncoder, PersistError> {
+    Ok(match d.u8()? {
+        0 => {
+            let k = d.len(1 << 16, "too many GMM components")?;
+            if k == 0 {
+                return Err(PersistError::Corrupt("empty GMM"));
+            }
+            let mut comps = Vec::with_capacity(k);
+            for _ in 0..k {
+                comps.push(Component {
+                    weight: d.f64()?,
+                    mean: d.f64()?,
+                    std: d.f64()?,
+                });
+            }
+            AttributeEncoder::Gmm(Gmm::from_components(comps))
+        }
+        1 => {
+            let bounds = d.f64s()?;
+            if bounds.len() < 2 || bounds.windows(2).any(|w| w[0] > w[1]) {
+                return Err(PersistError::Corrupt("invalid Jenks bounds"));
+            }
+            AttributeEncoder::Jenks(JenksBreaks::from_bounds(bounds))
+        }
+        2 => {
+            let name = d.str()?;
+            let lo = d.f64()?;
+            let hi = d.f64()?;
+            AttributeEncoder::MinMax(Attribute::new(name, lo, hi))
+        }
+        _ => return Err(PersistError::Corrupt("unknown attribute encoder")),
+    })
+}
+
+// --------------------------------------------------------------- pipeline
+
+/// Serialize a trained pipeline to bytes.
+pub fn pipeline_to_bytes(p: &LtePipeline) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.buf.extend_from_slice(MAGIC);
+    e.u8(VERSION);
+    put_config(&mut e, p.config());
+    e.usize(p.subspaces().len());
+    for i in 0..p.subspaces().len() {
+        let ctx = &p.contexts()[i];
+        let learner = &p.learners()[i];
+
+        e.usizes(p.subspaces()[i].attr_indices());
+        e.rows(ctx.sample_rows());
+        e.rows(ctx.cu());
+        e.rows(ctx.cs());
+        e.rows(ctx.cq());
+        e.usize(ctx.encoder().encoders().len());
+        for enc in ctx.encoder().encoders() {
+            put_attribute_encoder(&mut e, enc);
+        }
+
+        let arch = learner.arch();
+        e.usize(arch.ku);
+        e.usize(arch.nr);
+        let (phi_r, phi_t, phi_clf) = learner.phi();
+        e.f64s(phi_r);
+        e.f64s(phi_t);
+        e.f64s(phi_clf);
+        match learner.memories() {
+            Some(mem) => {
+                e.bool(true);
+                e.matrix(&mem.mvr);
+                e.matrix(&mem.mr);
+                e.usize(mem.mcp.len());
+                for slice in &mem.mcp {
+                    e.matrix(slice);
+                }
+            }
+            None => e.bool(false),
+        }
+    }
+    e.buf
+}
+
+/// Deserialize a pipeline from bytes.
+pub fn pipeline_from_bytes(data: &[u8]) -> Result<LtePipeline, PersistError> {
+    let mut d = Dec::new(data);
+    if d.take(4)? != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = d.u8()?;
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let config = get_config(&mut d)?;
+    let n_subspaces = d.len(1 << 12, "too many subspaces")?;
+    if n_subspaces == 0 {
+        return Err(PersistError::Corrupt("pipeline without subspaces"));
+    }
+
+    let mut subspaces = Vec::with_capacity(n_subspaces);
+    let mut contexts = Vec::with_capacity(n_subspaces);
+    let mut learners = Vec::with_capacity(n_subspaces);
+    for _ in 0..n_subspaces {
+        let attrs = d.usizes()?;
+        let subspace = Subspace::new(attrs);
+        let sample_rows = d.rows()?;
+        let cu = d.rows()?;
+        let cs = d.rows()?;
+        let cq = d.rows()?;
+        if cu.is_empty() || cs.is_empty() {
+            return Err(PersistError::Corrupt("empty center sets"));
+        }
+        let n_encoders = d.len(1 << 12, "too many encoders")?;
+        let mut encoders = Vec::with_capacity(n_encoders);
+        for _ in 0..n_encoders {
+            encoders.push(get_attribute_encoder(&mut d)?);
+        }
+        let encoder = TableEncoder::from_encoders(encoders);
+        contexts.push(SubspaceContext::from_parts(
+            subspace.clone(),
+            sample_rows,
+            cu,
+            cs,
+            cq,
+            encoder,
+        ));
+        subspaces.push(subspace);
+
+        let ku = d.usize()?;
+        let nr = d.usize()?;
+        let mut learner = MetaLearner::new(ku, nr, &config.net, config.train.clone(), 0);
+        let phi_r = d.f64s()?;
+        let phi_t = d.f64s()?;
+        let phi_clf = d.f64s()?;
+        let (er, et, ec) = learner.phi();
+        if phi_r.len() != er.len() || phi_t.len() != et.len() || phi_clf.len() != ec.len() {
+            return Err(PersistError::Corrupt("parameter shape mismatch"));
+        }
+        learner.set_phi(phi_r, phi_t, phi_clf);
+        if d.bool()? {
+            if !learner.has_memories() {
+                return Err(PersistError::Corrupt("memories for memory-less config"));
+            }
+            let mvr = d.matrix()?;
+            let mr = d.matrix()?;
+            let n_slices = d.len(1 << 10, "too many memory modes")?;
+            let mut mcp = Vec::with_capacity(n_slices);
+            for _ in 0..n_slices {
+                mcp.push(d.matrix()?);
+            }
+            let expected = learner.memories().expect("has memories");
+            if mvr.rows() != expected.mvr.rows()
+                || mvr.cols() != expected.mvr.cols()
+                || mr.cols() != expected.mr.cols()
+                || mcp.len() != expected.mcp.len()
+            {
+                return Err(PersistError::Corrupt("memory shape mismatch"));
+            }
+            learner.set_memories(Memories { mvr, mr, mcp });
+        } else if learner.has_memories() {
+            return Err(PersistError::Corrupt("missing memories"));
+        }
+        learners.push(learner);
+    }
+    if d.pos != data.len() {
+        return Err(PersistError::Corrupt("trailing bytes"));
+    }
+    Ok(LtePipeline::from_parts(config, subspaces, contexts, learners))
+}
+
+/// Save a trained pipeline to a file.
+pub fn save_pipeline(p: &LtePipeline, path: &Path) -> Result<(), PersistError> {
+    fs::write(path, pipeline_to_bytes(p)).map_err(|e| PersistError::Io(e.to_string()))
+}
+
+/// Load a pipeline from a file.
+pub fn load_pipeline(path: &Path) -> Result<LtePipeline, PersistError> {
+    let data = fs::read(path).map_err(|e| PersistError::Io(e.to_string()))?;
+    pipeline_from_bytes(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Variant;
+    use lte_data::generator::generate_sdss;
+    use lte_data::subspace::decompose_sequential;
+
+    fn trained_pipeline() -> (LtePipeline, Vec<Vec<f64>>) {
+        let table = generate_sdss(3000, 0);
+        let mut cfg = LteConfig::reduced();
+        cfg.train.n_tasks = 80;
+        cfg.train.epochs = 2;
+        let (p, _) = LtePipeline::offline(&table, decompose_sequential(4, 2), cfg, 5);
+        let pool: Vec<Vec<f64>> = (0..300).map(|i| table.row(i).unwrap()).collect();
+        (p, pool)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions_exactly() {
+        let (p, pool) = trained_pipeline();
+        let bytes = pipeline_to_bytes(&p);
+        let loaded = pipeline_from_bytes(&bytes).expect("round trip");
+
+        let truth = p.generate_truth(UisMode::new(4, 8), 9, 0.2, 0.9);
+        let truth2 = loaded.generate_truth(UisMode::new(4, 8), 9, 0.2, 0.9);
+        for variant in [Variant::Basic, Variant::Meta, Variant::MetaStar] {
+            let a = p.explore(&truth, &pool, variant, 3);
+            let b = loaded.explore(&truth2, &pool, variant, 3);
+            assert_eq!(a.confusion, b.confusion, "{variant:?} diverged");
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (p, _) = trained_pipeline();
+        let dir = std::env::temp_dir().join("lte_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pipeline.ltep");
+        save_pipeline(&p, &path).expect("save");
+        let loaded = load_pipeline(&path).expect("load");
+        assert_eq!(loaded.subspaces().len(), 2);
+        assert_eq!(
+            loaded.learners()[0].phi().0,
+            p.learners()[0].phi().0,
+            "φR must survive the file round trip"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(
+            pipeline_from_bytes(b"nope").unwrap_err(),
+            PersistError::BadMagic
+        );
+        assert_eq!(
+            pipeline_from_bytes(b"LTEP\xff").unwrap_err(),
+            PersistError::BadVersion(0xff)
+        );
+        // Truncation anywhere inside must be caught, not panic.
+        let (p, _) = trained_pipeline();
+        let bytes = pipeline_to_bytes(&p);
+        for cut in [5usize, 50, 500, bytes.len() - 1] {
+            let err = pipeline_from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, PersistError::Corrupt(_)), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let (p, _) = trained_pipeline();
+        let mut bytes = pipeline_to_bytes(&p);
+        bytes.push(0);
+        assert_eq!(
+            pipeline_from_bytes(&bytes).unwrap_err(),
+            PersistError::Corrupt("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn loading_missing_file_is_io_error() {
+        let err = load_pipeline(Path::new("/definitely/not/here.ltep")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

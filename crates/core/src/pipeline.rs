@@ -1,0 +1,442 @@
+//! The end-to-end LTE pipeline over a multi-attribute user-interest space.
+//!
+//! Offline (§III-B left half): decompose the space into meta-subspaces,
+//! build a [`SubspaceContext`] per subspace, generate its meta-task set, and
+//! meta-train one [`MetaLearner`] per subspace.
+//!
+//! Online (§III-B right half): for a user whose interest is a conjunction of
+//! per-subspace regions, run [`crate::explore::explore_subspace`] per subspace and
+//! conjoin the predictions into the UIR, `Ru = ∧ Ri`.
+//!
+//! Budget accounting: `B = ks + Δ` is the per-subspace-group labelling
+//! budget, matching the paper's "support-set size reflects the budget"
+//! convention; conjunctive subspaces form one group (§V-D footnote 8).
+
+use crate::config::LteConfig;
+use crate::context::SubspaceContext;
+use crate::explore::{explore_subspace, ExploreOutcome, Variant};
+use crate::feature::expansion_degree;
+use crate::meta_learner::MetaLearner;
+use crate::meta_task::generate_task_set;
+use crate::metrics::ConfusionMatrix;
+use crate::oracle::{ConjunctiveOracle, RegionOracle};
+use crate::uis::{generate_uis, UisMode};
+use lte_data::rng::{derive_seed, seeded};
+use lte_data::subspace::Subspace;
+use lte_data::table::Table;
+use std::time::Instant;
+
+/// Timing and quality report of the offline phase.
+#[derive(Debug, Clone)]
+pub struct OfflineReport {
+    /// Seconds spent generating meta-tasks (all subspaces).
+    pub task_gen_seconds: f64,
+    /// Seconds spent meta-training (all subspaces).
+    pub train_seconds: f64,
+    /// Meta-tasks generated per subspace (`|TM|`).
+    pub tasks_per_subspace: usize,
+    /// Final per-subspace mean query loss after training.
+    pub final_query_loss: Vec<f64>,
+}
+
+/// Result of one online UIR exploration.
+#[derive(Debug, Clone)]
+pub struct UirOutcome {
+    /// Confusion matrix of conjunctive UIR prediction over the pool.
+    pub confusion: ConfusionMatrix,
+    /// Per-subspace UIS F1 scores.
+    pub per_subspace_f1: Vec<f64>,
+    /// Total online seconds (adaptation + prediction, all subspaces).
+    pub online_seconds: f64,
+    /// Per-subspace-group labels consumed (`B = ks + Δ`).
+    pub labels_used: usize,
+    /// Per-subspace exploration outcomes (scores, labels, timing).
+    pub subspace_outcomes: Vec<ExploreOutcome>,
+}
+
+impl UirOutcome {
+    /// Conjunctive UIR F1.
+    pub fn f1(&self) -> f64 {
+        self.confusion.f1()
+    }
+
+    /// Conjunctive prediction per pool row (AND over subspaces, after any
+    /// Meta* revision).
+    pub fn uir_predictions(&self) -> Vec<bool> {
+        let n = self
+            .subspace_outcomes
+            .first()
+            .map_or(0, |o| o.predictions.len());
+        let mut pred = vec![true; n];
+        for sub in &self.subspace_outcomes {
+            for (p, &s) in pred.iter_mut().zip(&sub.predictions) {
+                *p &= s;
+            }
+        }
+        pred
+    }
+
+    /// Final retrieval (§III-B "Other IDE Modules" 3): pool indices ranked
+    /// by conjunctive confidence — the *minimum* subspace probability, the
+    /// natural conjunction of per-subspace beliefs. `k = None` returns the
+    /// full ranking.
+    pub fn ranked_retrieval(&self, k: Option<usize>) -> Vec<(usize, f64)> {
+        let n = self
+            .subspace_outcomes
+            .first()
+            .map_or(0, |o| o.scores.len());
+        let mut scored: Vec<(usize, f64)> = (0..n)
+            .map(|i| {
+                let conf = self
+                    .subspace_outcomes
+                    .iter()
+                    .map(|o| sigmoid(o.scores[i]))
+                    .fold(1.0f64, f64::min);
+                (i, conf)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        if let Some(k) = k {
+            scored.truncate(k);
+        }
+        scored
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// The trained LTE system: one context + meta-learner per subspace.
+#[derive(Debug, Clone)]
+pub struct LtePipeline {
+    config: LteConfig,
+    subspaces: Vec<Subspace>,
+    contexts: Vec<SubspaceContext>,
+    learners: Vec<MetaLearner>,
+}
+
+impl LtePipeline {
+    /// Reassemble a pipeline from persisted parts (see
+    /// [`crate::persist`]).
+    ///
+    /// # Panics
+    /// Panics when the part counts disagree.
+    pub fn from_parts(
+        config: LteConfig,
+        subspaces: Vec<Subspace>,
+        contexts: Vec<SubspaceContext>,
+        learners: Vec<MetaLearner>,
+    ) -> Self {
+        assert_eq!(subspaces.len(), contexts.len(), "context count mismatch");
+        assert_eq!(subspaces.len(), learners.len(), "learner count mismatch");
+        Self {
+            config,
+            subspaces,
+            contexts,
+            learners,
+        }
+    }
+
+    /// Run the full offline phase on `table` over the given subspace
+    /// decomposition.
+    pub fn offline(
+        table: &Table,
+        subspaces: Vec<Subspace>,
+        config: LteConfig,
+        seed: u64,
+    ) -> (Self, OfflineReport) {
+        assert!(!subspaces.is_empty(), "at least one subspace required");
+        let mut contexts = Vec::with_capacity(subspaces.len());
+        let mut learners = Vec::with_capacity(subspaces.len());
+        let mut task_gen_seconds = 0.0;
+        let mut train_seconds = 0.0;
+        let mut final_query_loss = Vec::with_capacity(subspaces.len());
+
+        for (i, sub) in subspaces.iter().enumerate() {
+            let sub_seed = derive_seed(seed, i as u64);
+            let ctx = SubspaceContext::build(
+                table,
+                sub.clone(),
+                &config.task,
+                &config.encoder,
+                sub_seed,
+            );
+
+            let l = expansion_degree(config.task.ku, config.net.expansion_frac);
+            let t0 = Instant::now();
+            let tasks = generate_task_set(
+                &ctx,
+                &config.task,
+                l,
+                config.train.n_tasks,
+                &mut seeded(derive_seed(sub_seed, 1)),
+            );
+            task_gen_seconds += t0.elapsed().as_secs_f64();
+
+            let mut learner = MetaLearner::new(
+                config.task.ku.min(ctx.cu().len()),
+                ctx.feature_width(),
+                &config.net,
+                config.train.clone(),
+                derive_seed(sub_seed, 2),
+            );
+            let t0 = Instant::now();
+            let report = learner.train(&tasks);
+            train_seconds += t0.elapsed().as_secs_f64();
+            final_query_loss.push(report.epoch_query_loss.last().copied().unwrap_or(f64::NAN));
+
+            contexts.push(ctx);
+            learners.push(learner);
+        }
+
+        let report = OfflineReport {
+            task_gen_seconds,
+            train_seconds,
+            tasks_per_subspace: config.train.n_tasks,
+            final_query_loss,
+        };
+        (
+            Self {
+                config,
+                subspaces,
+                contexts,
+                learners,
+            },
+            report,
+        )
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &LteConfig {
+        &self.config
+    }
+
+    /// Override the online-exploration parameters (adaptation steps /
+    /// learning rate) without retraining — used by the Fig. 8(d) online
+    /// learning-rate sweep.
+    pub fn set_online(&mut self, online: crate::config::OnlineConfig) {
+        self.config.online = online;
+    }
+
+    /// The subspace decomposition.
+    pub fn subspaces(&self) -> &[Subspace] {
+        &self.subspaces
+    }
+
+    /// Per-subspace offline contexts.
+    pub fn contexts(&self) -> &[SubspaceContext] {
+        &self.contexts
+    }
+
+    /// Per-subspace meta-learners.
+    pub fn learners(&self) -> &[MetaLearner] {
+        &self.learners
+    }
+
+    /// Generate a ground-truth UIR: one simulated UIS per subspace, in the
+    /// given mode, rejected until its selectivity over the subspace sample
+    /// lies within `(min_sel, max_sel)` — degenerate test regions make F1
+    /// meaningless. Returns the conjunctive oracle.
+    pub fn generate_truth(
+        &self,
+        mode: UisMode,
+        seed: u64,
+        min_sel: f64,
+        max_sel: f64,
+    ) -> ConjunctiveOracle {
+        let mut parts = Vec::with_capacity(self.contexts.len());
+        for (i, ctx) in self.contexts.iter().enumerate() {
+            let mut rng = seeded(derive_seed(seed, 1000 + i as u64));
+            let mut region = generate_uis(ctx.cu(), ctx.pu(), mode, &mut rng);
+            let mut tries = 0;
+            while tries < 100 {
+                let sel = region.selectivity(ctx.sample_rows());
+                if sel > min_sel && sel < max_sel {
+                    break;
+                }
+                region = generate_uis(ctx.cu(), ctx.pu(), mode, &mut rng);
+                tries += 1;
+            }
+            parts.push((self.subspaces[i].clone(), region));
+        }
+        ConjunctiveOracle::new(parts)
+    }
+
+    /// Online exploration of a UIR defined by per-subspace ground-truth
+    /// regions (in pipeline subspace order), evaluated on `eval_rows`
+    /// (full-space tuples).
+    pub fn explore(
+        &self,
+        truth: &ConjunctiveOracle,
+        eval_rows: &[Vec<f64>],
+        variant: Variant,
+        seed: u64,
+    ) -> UirOutcome {
+        assert_eq!(
+            truth.parts().len(),
+            self.subspaces.len(),
+            "one ground-truth region per subspace required"
+        );
+        let mut subspace_outcomes = Vec::with_capacity(self.subspaces.len());
+        let mut per_subspace_f1 = Vec::with_capacity(self.subspaces.len());
+        let mut online_seconds = 0.0;
+
+        // Conjunctive predictions start all-true and are AND-ed per subspace.
+        let mut uir_pred = vec![true; eval_rows.len()];
+
+        for (i, ctx) in self.contexts.iter().enumerate() {
+            let (sub, region) = &truth.parts()[i];
+            debug_assert_eq!(sub, &self.subspaces[i]);
+            let oracle = RegionOracle::new(region.clone());
+            let proj: Vec<Vec<f64>> = eval_rows.iter().map(|r| sub.project_row(r)).collect();
+
+            let learner = match variant {
+                Variant::Basic => None,
+                _ => Some(&self.learners[i]),
+            };
+            let outcome = explore_subspace(
+                ctx,
+                learner,
+                &oracle,
+                &proj,
+                &self.config,
+                variant,
+                derive_seed(seed, 2000 + i as u64),
+            );
+            online_seconds += outcome.online_seconds;
+
+            let sub_confusion = ConfusionMatrix::from_pairs(
+                outcome
+                    .predictions
+                    .iter()
+                    .zip(&proj)
+                    .map(|(&pred, row)| (pred, region.contains(row))),
+            );
+            per_subspace_f1.push(sub_confusion.f1());
+
+            for (pred, sub_pred) in uir_pred.iter_mut().zip(&outcome.predictions) {
+                *pred &= sub_pred;
+            }
+            subspace_outcomes.push(outcome);
+        }
+
+        let confusion = ConfusionMatrix::from_pairs(
+            uir_pred
+                .iter()
+                .zip(eval_rows)
+                .map(|(&pred, row)| (pred, truth.label(row))),
+        );
+
+        UirOutcome {
+            confusion,
+            per_subspace_f1,
+            online_seconds,
+            labels_used: self.config.budget(),
+            subspace_outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lte_data::generator::generate_sdss;
+    use lte_data::subspace::decompose_sequential;
+
+    fn small_pipeline() -> (LtePipeline, OfflineReport, Table) {
+        let table = generate_sdss(3000, 0);
+        let mut cfg = LteConfig::reduced();
+        cfg.train.n_tasks = 100;
+        let subspaces = decompose_sequential(4, 2);
+        let (p, r) = LtePipeline::offline(&table, subspaces, cfg, 77);
+        (p, r, table)
+    }
+
+    #[test]
+    fn offline_builds_one_learner_per_subspace() {
+        let (p, report, _) = small_pipeline();
+        assert_eq!(p.contexts().len(), 2);
+        assert_eq!(p.learners().len(), 2);
+        assert_eq!(report.final_query_loss.len(), 2);
+        assert!(report.task_gen_seconds > 0.0);
+        assert!(report.train_seconds > 0.0);
+        assert!(report.final_query_loss.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn truth_generation_respects_selectivity_bounds() {
+        let (p, _, _) = small_pipeline();
+        let truth = p.generate_truth(UisMode::new(4, 10), 5, 0.2, 0.9);
+        assert_eq!(truth.parts().len(), 2);
+        for (i, (_, region)) in truth.parts().iter().enumerate() {
+            let sel = region.selectivity(p.contexts()[i].sample_rows());
+            assert!(sel > 0.15 && sel < 0.95, "subspace {i} selectivity {sel}");
+        }
+    }
+
+    #[test]
+    fn explore_produces_conjunctive_predictions() {
+        let (p, _, table) = small_pipeline();
+        let truth = p.generate_truth(UisMode::new(4, 10), 6, 0.25, 0.9);
+        let eval: Vec<Vec<f64>> = (0..600).map(|i| table.row(i).unwrap()).collect();
+        let outcome = p.explore(&truth, &eval, Variant::Meta, 9);
+        assert_eq!(outcome.per_subspace_f1.len(), 2);
+        assert_eq!(outcome.confusion.total(), 600);
+        assert_eq!(outcome.labels_used, p.config().budget());
+        assert!(outcome.online_seconds > 0.0);
+        // Conjunctive prediction can never exceed any single subspace's
+        // positive count.
+        let conj_pos = outcome.confusion.tp + outcome.confusion.fp;
+        for sub in &outcome.subspace_outcomes {
+            let sub_pos = sub.predictions.iter().filter(|&&b| b).count();
+            assert!(conj_pos <= sub_pos);
+        }
+    }
+
+    #[test]
+    fn ranked_retrieval_orders_by_conjunctive_confidence() {
+        let (p, _, table) = small_pipeline();
+        let truth = p.generate_truth(UisMode::new(4, 10), 8, 0.25, 0.9);
+        let eval: Vec<Vec<f64>> = (0..200).map(|i| table.row(i).unwrap()).collect();
+        let outcome = p.explore(&truth, &eval, Variant::Meta, 12);
+
+        let ranked = outcome.ranked_retrieval(None);
+        assert_eq!(ranked.len(), 200);
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1, "ranking must be non-increasing");
+        }
+        for (_, conf) in &ranked {
+            assert!((0.0..=1.0).contains(conf));
+        }
+        let top5 = outcome.ranked_retrieval(Some(5));
+        assert_eq!(top5.len(), 5);
+        assert_eq!(top5[0], ranked[0]);
+
+        // Conjunctive predictions match the confusion matrix totals.
+        let preds = outcome.uir_predictions();
+        let positives = preds.iter().filter(|&&b| b).count();
+        assert_eq!(positives, outcome.confusion.tp + outcome.confusion.fp);
+    }
+
+    #[test]
+    fn meta_star_runs_end_to_end() {
+        let (p, _, table) = small_pipeline();
+        let truth = p.generate_truth(UisMode::new(4, 10), 7, 0.25, 0.9);
+        let eval: Vec<Vec<f64>> = (0..300).map(|i| table.row(i).unwrap()).collect();
+        let outcome = p.explore(&truth, &eval, Variant::MetaStar, 10);
+        assert!(outcome.f1().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subspace")]
+    fn empty_subspaces_panics() {
+        let table = generate_sdss(500, 0);
+        LtePipeline::offline(&table, vec![], LteConfig::reduced(), 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Few-shot prediction optimization (§VII-B) — the `Meta*` layer.
+//!
+//! Few-shot classifiers make two characteristic error types that geometry
+//! can cheaply bound:
+//!
+//! * **False positives** far from any labelled evidence: fix with the
+//!   **outer-subregion**, a generous superset of the UIS. For every `Cs`
+//!   center the user labelled positive ("anchor point"), expand to its
+//!   `Nsup` nearest `Cu` centers via `Ps` and take the convex hull; the
+//!   union of hulls circumscribes the real UIS. Predictions *outside* it
+//!   are revised to negative.
+//! * **False negatives** as small spurious holes inside the UIS: fix with
+//!   the **inner-subregion**, built the same way but with a conservative
+//!   expansion `Nsub ≪ Nsup`; predictions *inside* it are revised to
+//!   positive.
+//!
+//! The optimizer depends entirely on the labelled initial tuples — it
+//! cannot run standalone (§VIII-A note on Meta*).
+
+use crate::config::RefineConfig;
+use crate::context::SubspaceContext;
+use crate::uis::hull_region;
+use lte_geom::RegionUnion;
+
+/// The outer/inner circumscribed regions built from positive anchors.
+#[derive(Debug, Clone)]
+pub struct Subregions {
+    /// Superset of the UIS (Nsup expansion).
+    pub outer: RegionUnion,
+    /// Subset of the UIS (Nsub conservative expansion).
+    pub inner: RegionUnion,
+}
+
+impl Subregions {
+    /// Revise a classifier prediction for `row`:
+    /// outside the outer-subregion → negative; inside the inner-subregion →
+    /// positive; otherwise keep the classifier's verdict.
+    ///
+    /// With no positive anchors at all, both regions are empty and the
+    /// classifier's prediction passes through unchanged.
+    pub fn revise(&self, row: &[f64], prediction: bool) -> bool {
+        if self.outer.is_empty() {
+            return prediction;
+        }
+        if !self.outer.contains(row) {
+            return false;
+        }
+        if self.inner.contains(row) {
+            return true;
+        }
+        prediction
+    }
+
+    /// Three-set-style convergence indicator (§III-B "Convergence"):
+    /// tuples inside the inner-subregion are certainly interesting, tuples
+    /// outside the outer-subregion certainly not, the band in between is
+    /// uncertain. Returns the worst-case F1 lower bound
+    /// `|certain⁺| / (|certain⁺| + |uncertain|)` over `rows`, mirroring
+    /// DSM's metric so LTE sessions can reuse existing stop criteria.
+    pub fn three_set_bound(&self, rows: &[Vec<f64>]) -> f64 {
+        if self.outer.is_empty() {
+            return 0.0;
+        }
+        let mut certain_pos = 0usize;
+        let mut uncertain = 0usize;
+        for row in rows {
+            if self.inner.contains(row) {
+                certain_pos += 1;
+            } else if self.outer.contains(row) {
+                uncertain += 1;
+            }
+        }
+        if certain_pos + uncertain == 0 {
+            0.0
+        } else {
+            certain_pos as f64 / (certain_pos + uncertain) as f64
+        }
+    }
+}
+
+/// Build outer/inner subregions from the labels of the `Cs` initial tuples.
+pub fn build_subregions(
+    ctx: &SubspaceContext,
+    cs_labels: &[bool],
+    cfg: &RefineConfig,
+) -> Subregions {
+    build_subregions_with_anchors(ctx, cs_labels, &[], cfg)
+}
+
+/// [`build_subregions`] extended with additional positive anchor tuples —
+/// positively labeled rows collected *after* the initial exploration
+/// (iterative rounds, §III-B). Extra anchors expand through their nearest
+/// `Cu` centers by direct distance, since they are not `Cs` rows and hence
+/// have no `Ps` entry.
+pub fn build_subregions_with_anchors(
+    ctx: &SubspaceContext,
+    cs_labels: &[bool],
+    extra_positive_anchors: &[Vec<f64>],
+    cfg: &RefineConfig,
+) -> Subregions {
+    assert_eq!(
+        cs_labels.len(),
+        ctx.cs().len(),
+        "one label per Cs center required"
+    );
+    let ku = ctx.cu().len();
+    let nsup = ((ku as f64 * cfg.nsup_frac).round() as usize).clamp(1, ku);
+    let nsub = ((ku as f64 * cfg.nsub_frac).round() as usize).clamp(1, ku);
+
+    let mut outer = RegionUnion::empty();
+    let mut inner = RegionUnion::empty();
+    for (i, &positive) in cs_labels.iter().enumerate() {
+        if !positive {
+            continue;
+        }
+        outer.push(hull_region(&anchor_neighbourhood(ctx, i, nsup)));
+        inner.push(hull_region(&anchor_neighbourhood(ctx, i, nsub)));
+    }
+    for anchor in extra_positive_anchors {
+        outer.push(hull_region(&point_neighbourhood(ctx, anchor, nsup)));
+        inner.push(hull_region(&point_neighbourhood(ctx, anchor, nsub)));
+    }
+    Subregions { outer, inner }
+}
+
+/// The anchor `Cs` center plus its `n` nearest `Cu` centers (via `Ps`).
+fn anchor_neighbourhood(ctx: &SubspaceContext, anchor: usize, n: usize) -> Vec<Vec<f64>> {
+    let mut rows = Vec::with_capacity(n + 1);
+    rows.push(ctx.cs()[anchor].clone());
+    for j in ctx.ps().k_nearest(anchor, n, true) {
+        rows.push(ctx.cu()[j].clone());
+    }
+    rows
+}
+
+/// An arbitrary anchor row plus its `n` nearest `Cu` centers (brute-force
+/// distances; `ku` is small).
+fn point_neighbourhood(ctx: &SubspaceContext, anchor: &[f64], n: usize) -> Vec<Vec<f64>> {
+    let mut by_dist: Vec<(f64, usize)> = ctx
+        .cu()
+        .iter()
+        .enumerate()
+        .map(|(j, c)| (lte_geom::dist2(anchor, c), j))
+        .collect();
+    by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut rows = Vec::with_capacity(n + 1);
+    rows.push(anchor.to_vec());
+    for &(_, j) in by_dist.iter().take(n) {
+        rows.push(ctx.cu()[j].clone());
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LteConfig;
+    use lte_data::generator::generate_sdss;
+    use lte_data::subspace::Subspace;
+
+    fn ctx() -> SubspaceContext {
+        let table = generate_sdss(3000, 0);
+        let cfg = LteConfig::reduced();
+        SubspaceContext::build(
+            &table,
+            Subspace::new(vec![0, 1]),
+            &cfg.task,
+            &cfg.encoder,
+            3,
+        )
+    }
+
+    fn labels_with_one_positive(ctx: &SubspaceContext, idx: usize) -> Vec<bool> {
+        let mut labels = vec![false; ctx.cs().len()];
+        labels[idx] = true;
+        labels
+    }
+
+    #[test]
+    fn inner_is_subset_of_outer() {
+        let c = ctx();
+        let labels = labels_with_one_positive(&c, 0);
+        let regions = build_subregions(&c, &labels, &RefineConfig::default());
+        // Every sample row inside the inner region must be inside the outer.
+        for row in c.sample_rows() {
+            if regions.inner.contains(row) {
+                assert!(regions.outer.contains(row), "inner ⊄ outer at {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn revise_clips_far_false_positives() {
+        let c = ctx();
+        let labels = labels_with_one_positive(&c, 0);
+        let regions = build_subregions(&c, &labels, &RefineConfig::default());
+        // A point far outside the data range must be revised to negative
+        // even if the classifier says positive.
+        let far = vec![1e9, 1e9];
+        assert!(!regions.revise(&far, true));
+    }
+
+    #[test]
+    fn revise_rescues_false_negatives_near_anchor() {
+        let c = ctx();
+        let labels = labels_with_one_positive(&c, 2);
+        let regions = build_subregions(&c, &labels, &RefineConfig::default());
+        // The anchor itself sits inside the inner region.
+        let anchor = c.cs()[2].clone();
+        assert!(regions.revise(&anchor, false), "anchor must be positive");
+    }
+
+    #[test]
+    fn uncertain_band_keeps_classifier_verdict() {
+        let c = ctx();
+        let labels = labels_with_one_positive(&c, 1);
+        let regions = build_subregions(&c, &labels, &RefineConfig::default());
+        // Find a sample row between inner and outer.
+        let row = c
+            .sample_rows()
+            .iter()
+            .find(|r| regions.outer.contains(r) && !regions.inner.contains(r));
+        if let Some(row) = row {
+            assert!(regions.revise(row, true));
+            assert!(!regions.revise(row, false));
+        }
+    }
+
+    #[test]
+    fn no_positive_labels_passes_through() {
+        let c = ctx();
+        let labels = vec![false; c.cs().len()];
+        let regions = build_subregions(&c, &labels, &RefineConfig::default());
+        assert!(regions.outer.is_empty());
+        assert!(regions.revise(&[0.0, 0.0], true));
+        assert!(!regions.revise(&[0.0, 0.0], false));
+    }
+
+    #[test]
+    fn more_positives_grow_regions() {
+        let c = ctx();
+        let one = build_subregions(&c, &labels_with_one_positive(&c, 0), &RefineConfig::default());
+        let mut labels = labels_with_one_positive(&c, 0);
+        labels[c.cs().len() - 1] = true;
+        let two = build_subregions(&c, &labels, &RefineConfig::default());
+        assert_eq!(one.outer.len() + 1, two.outer.len());
+        assert_eq!(one.inner.len() + 1, two.inner.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per Cs center")]
+    fn label_count_mismatch_panics() {
+        let c = ctx();
+        build_subregions(&c, &[true], &RefineConfig::default());
+    }
+
+    #[test]
+    fn three_set_bound_in_unit_interval_and_zero_without_anchors() {
+        let c = ctx();
+        let regions = build_subregions(&c, &labels_with_one_positive(&c, 0), &RefineConfig::default());
+        let bound = regions.three_set_bound(c.sample_rows());
+        assert!((0.0..=1.0).contains(&bound));
+
+        let empty = build_subregions(&c, &vec![false; c.cs().len()], &RefineConfig::default());
+        assert_eq!(empty.three_set_bound(c.sample_rows()), 0.0);
+    }
+
+    #[test]
+    fn three_set_bound_grows_with_more_anchors() {
+        // More positive anchors grow the inner region (certain positives)
+        // relative to the uncertain band, so the bound shouldn't collapse.
+        let c = ctx();
+        let half = c.cs().len() / 2;
+        let mut many = vec![false; c.cs().len()];
+        many[..half].fill(true);
+        let regions = build_subregions(&c, &many, &RefineConfig::default());
+        assert!(regions.three_set_bound(c.sample_rows()) > 0.0);
+    }
+}

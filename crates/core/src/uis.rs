@@ -1,0 +1,176 @@
+//! Simulated user-interest-subregion (UIS) generation (§V-C).
+//!
+//! By convex decomposition theory, any UIS — concave or disconnected — can
+//! be expressed as a union of convex parts. A simulated UIS is built by
+//! repeating α times: pick a random cluster center `cj ∈ Cu`, retrieve its
+//! ψ-nearest centers via the proximity matrix `Pu` (O(ku)), and take their
+//! convex hull (O(ψ·log ψ)); the union of the α hulls is the UIS. Existing
+//! works' UISs are special cases (DSM's connected convex region is α = 1).
+
+use lte_cluster::ProximityMatrix;
+use lte_geom::{ConvexPolygon, Region, RegionUnion};
+use rand::{Rng, RngExt};
+
+/// A UIS complexity mode: `α` convex parts, each the hull of a `ψ`-nearest
+/// cluster-center set. Table III's benchmark modes M1–M7 are instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UisMode {
+    /// Number of convex parts (`α`).
+    pub alpha: usize,
+    /// Neighborhood size per part (`ψ`).
+    pub psi: usize,
+}
+
+impl UisMode {
+    /// Create a mode.
+    pub fn new(alpha: usize, psi: usize) -> Self {
+        assert!(alpha >= 1, "alpha must be >= 1");
+        assert!(psi >= 1, "psi must be >= 1");
+        Self { alpha, psi }
+    }
+
+    /// The seven test-benchmark modes of Table III:
+    /// M1–M4 fix α=4 and vary ψ ∈ {20, 15, 10, 5}; M5–M7 fix ψ=20 and vary
+    /// α ∈ {1, 2, 3}.
+    pub fn paper_modes() -> Vec<(String, UisMode)> {
+        vec![
+            ("M1".into(), UisMode::new(4, 20)),
+            ("M2".into(), UisMode::new(4, 15)),
+            ("M3".into(), UisMode::new(4, 10)),
+            ("M4".into(), UisMode::new(4, 5)),
+            ("M5".into(), UisMode::new(1, 20)),
+            ("M6".into(), UisMode::new(2, 20)),
+            ("M7".into(), UisMode::new(3, 20)),
+        ]
+    }
+
+    /// The convex-and-connected mode DSM assumes (α = 1), with the paper's
+    /// §VIII-B hull size ψ = 50 (scaled by `psi` here).
+    pub fn convex(psi: usize) -> Self {
+        UisMode::new(1, psi)
+    }
+}
+
+/// Generate one simulated UIS over `centers` (`Cu`) using precomputed
+/// proximities `pu` (the paper's `Pu`).
+///
+/// Each part: a uniformly random anchor center, its ψ-nearest neighbours
+/// (anchor included), and their convex hull. 1D subspaces produce interval
+/// parts via the same lifting as `lte-geom`.
+pub fn generate_uis<R: Rng + ?Sized>(
+    centers: &[Vec<f64>],
+    pu: &ProximityMatrix,
+    mode: UisMode,
+    rng: &mut R,
+) -> RegionUnion {
+    assert!(!centers.is_empty(), "need cluster centers to build a UIS");
+    assert_eq!(pu.n_rows(), centers.len(), "Pu must match centers");
+    let mut parts = Vec::with_capacity(mode.alpha);
+    for _ in 0..mode.alpha {
+        let anchor = rng.random_range(0..centers.len());
+        let neighbours = pu.k_nearest(anchor, mode.psi.min(centers.len()), true);
+        let rows: Vec<Vec<f64>> = neighbours.iter().map(|&i| centers[i].clone()).collect();
+        parts.push(hull_region(&rows));
+    }
+    RegionUnion::new(parts)
+}
+
+/// Convex hull of subspace rows as a [`Region`] (interval for 1D, polygon
+/// for 2D+ via the x/y lifting).
+pub fn hull_region(rows: &[Vec<f64>]) -> Region {
+    let dim = rows.first().map_or(0, Vec::len);
+    if dim <= 1 {
+        let values: Vec<f64> = rows.iter().filter_map(|r| r.first().copied()).collect();
+        let (lo, hi) = lte_geom::hull::interval_hull(&values).unwrap_or((0.0, 0.0));
+        Region::interval(lo, hi)
+    } else {
+        Region::Polygon(ConvexPolygon::from_rows(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_centers() -> Vec<Vec<f64>> {
+        let mut c = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                c.push(vec![i as f64, j as f64]);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn paper_modes_match_table_iii() {
+        let modes = UisMode::paper_modes();
+        assert_eq!(modes.len(), 7);
+        assert_eq!(modes[0].1, UisMode::new(4, 20));
+        assert_eq!(modes[3].1, UisMode::new(4, 5));
+        assert_eq!(modes[4].1, UisMode::new(1, 20));
+        assert_eq!(modes[6].1, UisMode::new(3, 20));
+    }
+
+    #[test]
+    fn uis_has_alpha_parts_and_contains_anchors() {
+        let centers = grid_centers();
+        let pu = ProximityMatrix::within(&centers);
+        let mut rng = StdRng::seed_from_u64(0);
+        let uis = generate_uis(&centers, &pu, UisMode::new(3, 6), &mut rng);
+        assert_eq!(uis.len(), 3);
+        // Some grid centers must be inside (each hull covers ≥ ψ centers).
+        let covered = centers.iter().filter(|c| uis.contains(c)).count();
+        assert!(covered >= 6, "covered {covered}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let centers = grid_centers();
+        let pu = ProximityMatrix::within(&centers);
+        let a = generate_uis(&centers, &pu, UisMode::new(2, 5), &mut StdRng::seed_from_u64(7));
+        let b = generate_uis(&centers, &pu, UisMode::new(2, 5), &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn psi_larger_than_centers_is_clamped() {
+        let centers = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let pu = ProximityMatrix::within(&centers);
+        let mut rng = StdRng::seed_from_u64(1);
+        let uis = generate_uis(&centers, &pu, UisMode::new(1, 99), &mut rng);
+        // Hull of all three centers: the triangle.
+        assert!(uis.contains(&[0.2, 0.2]));
+    }
+
+    #[test]
+    fn one_dimensional_uis_is_interval_union() {
+        let centers: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let pu = ProximityMatrix::within(&centers);
+        let mut rng = StdRng::seed_from_u64(2);
+        let uis = generate_uis(&centers, &pu, UisMode::new(2, 3), &mut rng);
+        assert_eq!(uis.len(), 2);
+        // Must contain at least the anchors' neighbourhoods.
+        let covered = centers.iter().filter(|c| uis.contains(c)).count();
+        assert!(covered >= 3);
+    }
+
+    #[test]
+    fn larger_psi_covers_no_fewer_centers() {
+        let centers = grid_centers();
+        let pu = ProximityMatrix::within(&centers);
+        // Same anchor by same seed: hull over more neighbours is a superset.
+        let small = generate_uis(&centers, &pu, UisMode::new(1, 4), &mut StdRng::seed_from_u64(3));
+        let large = generate_uis(&centers, &pu, UisMode::new(1, 12), &mut StdRng::seed_from_u64(3));
+        let count = |u: &RegionUnion| centers.iter().filter(|c| u.contains(c)).count();
+        assert!(count(&large) >= count(&small));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be >= 1")]
+    fn zero_alpha_panics() {
+        UisMode::new(0, 5);
+    }
+}

@@ -1,0 +1,284 @@
+//! CSV import/export for numeric tables.
+//!
+//! The synthetic SDSS/CAR generators stand in for the paper's datasets, but
+//! a released IDE system must ingest *real* tables. This is a dependency-
+//! free reader/writer for the numeric-CSV subset LTE consumes: a header row
+//! naming the attributes, then one row of `f64`-parseable values per tuple.
+//! Quoted fields (RFC-4180 style, including embedded commas and doubled
+//! quotes) are supported in headers; value fields must be numeric.
+
+use crate::error::DataError;
+use crate::schema::{Attribute, Schema};
+use crate::table::Table;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Errors produced by CSV parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// Underlying I/O failure (message form; `std::io::Error` isn't `Clone`).
+    Io(String),
+    /// The input had no header row.
+    MissingHeader,
+    /// A row had the wrong number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Expected field count (header arity).
+        expected: usize,
+        /// Found field count.
+        actual: usize,
+    },
+    /// A value field failed to parse as `f64`.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: String,
+        /// Offending text.
+        text: String,
+    },
+    /// An unterminated quoted field.
+    UnterminatedQuote {
+        /// 1-based line number where the field started.
+        line: usize,
+    },
+    /// Table construction failed after parsing.
+    Data(DataError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::MissingHeader => write!(f, "missing header row"),
+            CsvError::FieldCount {
+                line,
+                expected,
+                actual,
+            } => write!(f, "line {line}: expected {expected} fields, found {actual}"),
+            CsvError::BadNumber { line, column, text } => {
+                write!(f, "line {line}, column `{column}`: `{text}` is not a number")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+            CsvError::Data(e) => write!(f, "table construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Split one CSV record honouring quotes. Returns `None` on unterminated
+/// quotes.
+fn split_record(line: &str) -> Option<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => cur.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                other => cur.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return None;
+    }
+    fields.push(cur);
+    Some(fields)
+}
+
+/// Parse CSV text into a [`Table`]. Attribute domains are fitted to the
+/// observed min/max per column. Empty lines are skipped.
+pub fn parse_csv(text: &str) -> Result<Table, CsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (header_line, header) = lines.next().ok_or(CsvError::MissingHeader)?;
+    let names =
+        split_record(header).ok_or(CsvError::UnterminatedQuote { line: header_line + 1 })?;
+    let n_cols = names.len();
+
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n_cols];
+    for (idx, line) in lines {
+        let fields = split_record(line).ok_or(CsvError::UnterminatedQuote { line: idx + 1 })?;
+        if fields.len() != n_cols {
+            return Err(CsvError::FieldCount {
+                line: idx + 1,
+                expected: n_cols,
+                actual: fields.len(),
+            });
+        }
+        for (c, field) in fields.iter().enumerate() {
+            let v: f64 = field.trim().parse().map_err(|_| CsvError::BadNumber {
+                line: idx + 1,
+                column: names[c].clone(),
+                text: field.clone(),
+            })?;
+            columns[c].push(v);
+        }
+    }
+
+    let attrs: Vec<Attribute> = names
+        .iter()
+        .zip(&columns)
+        .map(|(name, col)| {
+            let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if col.is_empty() {
+                Attribute::new(name.trim(), 0.0, 0.0)
+            } else {
+                Attribute::new(name.trim(), lo, hi)
+            }
+        })
+        .collect();
+    Table::new(Schema::new(attrs), columns).map_err(CsvError::Data)
+}
+
+/// Read a CSV file into a [`Table`].
+pub fn read_csv(path: &Path) -> Result<Table, CsvError> {
+    let text = fs::read_to_string(path).map_err(|e| CsvError::Io(e.to_string()))?;
+    parse_csv(&text)
+}
+
+/// Render a [`Table`] as CSV text (header + rows).
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = table
+        .schema()
+        .names()
+        .iter()
+        .map(|n| {
+            if n.contains(',') || n.contains('"') {
+                format!("\"{}\"", n.replace('"', "\"\""))
+            } else {
+                n.to_string()
+            }
+        })
+        .collect();
+    let _ = writeln!(out, "{}", names.join(","));
+    for row in table.iter_rows() {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+/// Write a [`Table`] to a CSV file.
+pub fn write_csv(table: &Table, path: &Path) -> Result<(), CsvError> {
+    fs::write(path, to_csv(table)).map_err(|e| CsvError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_csv() {
+        let t = parse_csv("a,b\n1,2\n3,4.5\n").unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.schema().names(), vec!["a", "b"]);
+        assert_eq!(t.row(1).unwrap(), vec![3.0, 4.5]);
+        // Domains are fitted.
+        assert_eq!(t.schema().attr(0).unwrap().lo, 1.0);
+        assert_eq!(t.schema().attr(0).unwrap().hi, 3.0);
+    }
+
+    #[test]
+    fn skips_blank_lines_and_trims() {
+        let t = parse_csv("x,y\n\n 1 , 2 \n\n3,4\n\n").unwrap();
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn quoted_headers_with_commas() {
+        let t = parse_csv("\"price, EUR\",\"say \"\"hi\"\"\"\n1,2\n").unwrap();
+        assert_eq!(t.schema().names(), vec!["price, EUR", "say \"hi\""]);
+    }
+
+    #[test]
+    fn error_on_bad_number() {
+        let err = parse_csv("a\nnot_a_number\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadNumber { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn error_on_wrong_field_count() {
+        let err = parse_csv("a,b\n1\n").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CsvError::FieldCount {
+                    line: 2,
+                    expected: 2,
+                    actual: 1
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn error_on_unterminated_quote() {
+        let err = parse_csv("\"oops\n1\n").unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }), "{err}");
+    }
+
+    #[test]
+    fn error_on_empty_input() {
+        assert_eq!(parse_csv("").unwrap_err(), CsvError::MissingHeader);
+        assert_eq!(parse_csv("\n\n").unwrap_err(), CsvError::MissingHeader);
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let original = crate::generator::generate_car(50, 3);
+        let text = to_csv(&original);
+        let parsed = parse_csv(&text).unwrap();
+        assert_eq!(parsed.n_rows(), original.n_rows());
+        assert_eq!(parsed.schema().names(), original.schema().names());
+        for i in 0..original.n_rows() {
+            let a = original.row(i).unwrap();
+            let b = parsed.row(i).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let original = crate::generator::generate_uniform(20, 3, 1);
+        let dir = std::env::temp_dir().join("lte_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(&original, &path).unwrap();
+        let parsed = read_csv(&path).unwrap();
+        assert_eq!(parsed.n_rows(), 20);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_missing_file_is_io_error() {
+        let err = read_csv(Path::new("/definitely/not/here.csv")).unwrap_err();
+        assert!(matches!(err, CsvError::Io(_)));
+    }
+}

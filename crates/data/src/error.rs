@@ -1,0 +1,88 @@
+//! Error type for data-layer operations.
+
+use std::fmt;
+
+/// Errors produced by table construction, projection, and sampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A column was given a different number of rows than the table.
+    ColumnLengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Expected number of rows.
+        expected: usize,
+        /// Number of rows actually supplied.
+        actual: usize,
+    },
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// A column index was out of bounds.
+    ColumnOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Number of columns in the table.
+        len: usize,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Number of rows in the table.
+        len: usize,
+    },
+    /// A table with zero columns or zero rows was used where data is required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ColumnLengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column `{column}` has {actual} rows, expected {expected}"
+            ),
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            DataError::ColumnOutOfBounds { index, len } => {
+                write!(f, "column index {index} out of bounds (len {len})")
+            }
+            DataError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds (len {len})")
+            }
+            DataError::Empty(what) => write!(f, "{what} must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = DataError::ColumnLengthMismatch {
+            column: "ra".into(),
+            expected: 10,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("ra"));
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('7'));
+
+        assert!(DataError::UnknownAttribute("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(DataError::ColumnOutOfBounds { index: 5, len: 2 }
+            .to_string()
+            .contains('5'));
+        assert!(DataError::RowOutOfBounds { index: 9, len: 3 }
+            .to_string()
+            .contains('9'));
+        assert!(DataError::Empty("table").to_string().contains("table"));
+    }
+}

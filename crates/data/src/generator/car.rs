@@ -1,0 +1,144 @@
+//! Synthetic used-car listing table (CAR).
+//!
+//! Mirrors the paper's second dataset: 50K second-hand car listings with 5
+//! commonly used numeric attributes: `price, mileage, year, power, engine`.
+//!
+//! Distributional character (deliberately different from SDSS): smooth,
+//! skewed, trend-like marginals — right-skewed mileage, price decaying with
+//! age and mileage, a gentle registration-year trend — i.e. the regime where
+//! interval-scanning encoders such as Jenks natural breaks (JKC) outperform
+//! GMMs (§VII-A).
+
+use super::fit_domains;
+use crate::rng::{randn_scaled, seeded};
+use crate::table::Table;
+use rand::RngExt;
+
+/// Generate a CAR-like table with `n` rows.
+pub fn generate_car(n: usize, seed: u64) -> Table {
+    let mut rng = seeded(seed);
+
+    let mut price = Vec::with_capacity(n);
+    let mut mileage = Vec::with_capacity(n);
+    let mut year = Vec::with_capacity(n);
+    let mut power = Vec::with_capacity(n);
+    let mut engine = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        // Registration year: smooth trend, more recent cars more common.
+        let u: f64 = rng.random::<f64>();
+        let y = 1998.0 + 24.0 * u.powf(0.6); // skewed towards recent years
+        year.push(y.floor().clamp(1998.0, 2022.0));
+
+        // Mileage (km): right-skewed, grows with age.
+        let age = 2023.0 - y;
+        let base_km = 13_000.0 * age;
+        let km = (base_km * (0.4 + 1.2 * rng.random::<f64>())
+            + randn_scaled(&mut rng, 0.0, 8_000.0))
+        .max(0.0);
+        mileage.push(km.min(400_000.0));
+
+        // Engine displacement (liters): smooth continuum 0.9..5.0 with a
+        // soft mass around compact engines.
+        let e = 0.9 + 4.1 * rng.random::<f64>().powf(1.7);
+        engine.push((e * 10.0).round() / 10.0);
+
+        // Power (hp): increases smoothly with engine size, plus spread.
+        let p = 45.0 + 70.0 * e + randn_scaled(&mut rng, 0.0, 18.0);
+        power.push(p.clamp(40.0, 450.0));
+
+        // Price (EUR): depreciates with age and mileage, appreciates with
+        // power; multiplicative lognormal-ish noise keeps it smooth and
+        // right-skewed.
+        let base = 38_000.0 * (-0.13 * age).exp();
+        let km_penalty = (-km / 250_000.0).exp();
+        let power_bonus = 1.0 + (p - 120.0).max(0.0) / 300.0;
+        let noise = (randn_scaled(&mut rng, 0.0, 0.28)).exp();
+        let pr = (base * km_penalty * power_bonus * noise).clamp(300.0, 120_000.0);
+        price.push(pr.round());
+    }
+
+    fit_domains(vec![
+        ("price", price),
+        ("mileage", mileage),
+        ("year", year),
+        ("power", power),
+        ("engine", engine),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_expected_schema() {
+        let t = generate_car(50, 0);
+        assert_eq!(t.n_rows(), 50);
+        assert_eq!(
+            t.schema().names(),
+            vec!["price", "mileage", "year", "power", "engine"]
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(generate_car(300, 11), generate_car(300, 11));
+        assert_ne!(generate_car(300, 11), generate_car(300, 12));
+    }
+
+    #[test]
+    fn mileage_is_right_skewed() {
+        let t = generate_car(10_000, 1);
+        let m = t.column_by_name("mileage").unwrap();
+        let mean = m.iter().sum::<f64>() / m.len() as f64;
+        let mut sorted = m.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "mean {mean} median {median}");
+    }
+
+    #[test]
+    fn price_decreases_with_age() {
+        let t = generate_car(10_000, 2);
+        let price = t.column_by_name("price").unwrap();
+        let year = t.column_by_name("year").unwrap();
+        let newish: Vec<f64> = price
+            .iter()
+            .zip(year)
+            .filter(|(_, &y)| y >= 2018.0)
+            .map(|(&p, _)| p)
+            .collect();
+        let oldish: Vec<f64> = price
+            .iter()
+            .zip(year)
+            .filter(|(_, &y)| y <= 2005.0)
+            .map(|(&p, _)| p)
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&newish) > 2.0 * mean(&oldish),
+            "new {} old {}",
+            mean(&newish),
+            mean(&oldish)
+        );
+    }
+
+    #[test]
+    fn power_correlates_with_engine() {
+        let t = generate_car(5_000, 3);
+        let p = t.column_by_name("power").unwrap();
+        let e = t.column_by_name("engine").unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (mp, me) = (mean(p), mean(e));
+        let mut cov = 0.0;
+        let mut vp = 0.0;
+        let mut ve = 0.0;
+        for i in 0..p.len() {
+            cov += (p[i] - mp) * (e[i] - me);
+            vp += (p[i] - mp).powi(2);
+            ve += (e[i] - me).powi(2);
+        }
+        assert!(cov / (vp.sqrt() * ve.sqrt()) > 0.8);
+    }
+}

@@ -1,0 +1,161 @@
+//! Synthetic SDSS-like sky-object table.
+//!
+//! Schema follows the paper's setting of 8 photometric/astrometric
+//! attributes (cf. §VIII-A and the running example of §I):
+//! `rowc, colc, ra, dec, sky_u, sky_g, rowv, colv`.
+//!
+//! Generation model: sky objects belong to one of several latent "survey
+//! stripes" (mixture components). Within a stripe, CCD coordinates
+//! (`rowc`, `colc`) are correlated blobs, sky coordinates (`ra`, `dec`)
+//! follow the stripe's field center, sky brightness (`sky_u`, `sky_g`) is
+//! multi-modal with correlated bands (two magnitudes of the same object),
+//! and velocities (`rowv`, `colv`) are near-zero with occasional outliers.
+//! The result is the multi-peaked, partially correlated distribution the
+//! paper's GMM preprocessing is designed for.
+
+use super::fit_domains;
+use crate::rng::{randn_scaled, sample_weighted, seeded};
+use crate::table::Table;
+use rand::RngExt;
+
+/// A latent survey stripe: field center and dispersions.
+struct Stripe {
+    weight: f64,
+    ra_center: f64,
+    dec_center: f64,
+    row_center: f64,
+    col_center: f64,
+    sky_base: f64,
+}
+
+fn stripes() -> Vec<Stripe> {
+    // Six stripes with uneven weights => clearly multi-modal marginals.
+    vec![
+        Stripe { weight: 0.28, ra_center: 30.0, dec_center: -5.0, row_center: 350.0, col_center: 420.0, sky_base: 21.8 },
+        Stripe { weight: 0.22, ra_center: 95.0, dec_center: 12.0, row_center: 820.0, col_center: 300.0, sky_base: 22.6 },
+        Stripe { weight: 0.18, ra_center: 150.0, dec_center: 33.0, row_center: 1250.0, col_center: 980.0, sky_base: 23.1 },
+        Stripe { weight: 0.14, ra_center: 210.0, dec_center: 48.0, row_center: 560.0, col_center: 1500.0, sky_base: 22.2 },
+        Stripe { weight: 0.11, ra_center: 280.0, dec_center: -22.0, row_center: 1700.0, col_center: 700.0, sky_base: 21.4 },
+        Stripe { weight: 0.07, ra_center: 330.0, dec_center: 60.0, row_center: 980.0, col_center: 1150.0, sky_base: 23.6 },
+    ]
+}
+
+/// Generate an SDSS-like table with `n` rows.
+pub fn generate_sdss(n: usize, seed: u64) -> Table {
+    let mut rng = seeded(seed);
+    let stripes = stripes();
+    let weights: Vec<f64> = stripes.iter().map(|s| s.weight).collect();
+
+    let mut rowc = Vec::with_capacity(n);
+    let mut colc = Vec::with_capacity(n);
+    let mut ra = Vec::with_capacity(n);
+    let mut dec = Vec::with_capacity(n);
+    let mut sky_u = Vec::with_capacity(n);
+    let mut sky_g = Vec::with_capacity(n);
+    let mut rowv = Vec::with_capacity(n);
+    let mut colv = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let s = &stripes[sample_weighted(&mut rng, &weights)];
+
+        // CCD coordinates: correlated ellipse per stripe.
+        let r = randn_scaled(&mut rng, s.row_center, 90.0);
+        let c_corr = 0.55 * (r - s.row_center);
+        let c = s.col_center + c_corr + randn_scaled(&mut rng, 0.0, 70.0);
+        rowc.push(r.clamp(0.0, 2048.0));
+        colc.push(c.clamp(0.0, 2048.0));
+
+        // Sky coordinates: tight field around the stripe center.
+        ra.push((s.ra_center + randn_scaled(&mut rng, 0.0, 6.0)).rem_euclid(360.0));
+        dec.push(randn_scaled(&mut rng, s.dec_center, 4.0).clamp(-90.0, 90.0));
+
+        // Photometry: two correlated magnitudes, band offset per object.
+        let mag = randn_scaled(&mut rng, s.sky_base, 0.45);
+        sky_u.push(mag);
+        sky_g.push(mag - 0.8 + randn_scaled(&mut rng, 0.0, 0.25));
+
+        // Velocities: mostly near zero; ~4% fast movers (asteroids).
+        let fast = rng.random::<f64>() < 0.04;
+        let vel_sigma = if fast { 6.0 } else { 0.35 };
+        rowv.push(randn_scaled(&mut rng, 0.0, vel_sigma));
+        colv.push(randn_scaled(&mut rng, 0.0, vel_sigma));
+    }
+
+    fit_domains(vec![
+        ("rowc", rowc),
+        ("colc", colc),
+        ("ra", ra),
+        ("dec", dec),
+        ("sky_u", sky_u),
+        ("sky_g", sky_g),
+        ("rowv", rowv),
+        ("colv", colv),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_paper_schema() {
+        let t = generate_sdss(100, 0);
+        assert_eq!(t.n_rows(), 100);
+        assert_eq!(
+            t.schema().names(),
+            vec!["rowc", "colc", "ra", "dec", "sky_u", "sky_g", "rowv", "colv"]
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_sdss(500, 7);
+        let b = generate_sdss(500, 7);
+        assert_eq!(a, b);
+        let c = generate_sdss(500, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ra_is_multi_modal() {
+        // The `ra` marginal should have mass near several distinct stripe
+        // centers: verify at least 4 of the 6 centers have nearby samples
+        // and the in-between valleys are sparse.
+        let t = generate_sdss(20_000, 1);
+        let ra = t.column_by_name("ra").unwrap();
+        let centers = [30.0, 95.0, 150.0, 210.0, 280.0, 330.0];
+        let near = |c: f64| ra.iter().filter(|&&v| (v - c).abs() < 10.0).count();
+        let populated = centers.iter().filter(|&&c| near(c) > 200).count();
+        assert!(populated >= 4, "only {populated} stripes populated");
+        // Valley between 30 and 95 should be sparse relative to peaks.
+        let valley = ra.iter().filter(|&&v| (v - 62.5).abs() < 10.0).count();
+        assert!(valley * 4 < near(30.0), "valley {valley} vs peak {}", near(30.0));
+    }
+
+    #[test]
+    fn magnitudes_are_correlated() {
+        let t = generate_sdss(5_000, 2);
+        let u = t.column_by_name("sky_u").unwrap();
+        let g = t.column_by_name("sky_g").unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (mu, mg) = (mean(u), mean(g));
+        let mut cov = 0.0;
+        let mut vu = 0.0;
+        let mut vg = 0.0;
+        for i in 0..u.len() {
+            cov += (u[i] - mu) * (g[i] - mg);
+            vu += (u[i] - mu).powi(2);
+            vg += (g[i] - mg).powi(2);
+        }
+        let corr = cov / (vu.sqrt() * vg.sqrt());
+        assert!(corr > 0.6, "corr {corr}");
+    }
+
+    #[test]
+    fn velocities_concentrate_near_zero() {
+        let t = generate_sdss(5_000, 3);
+        let rowv = t.column_by_name("rowv").unwrap();
+        let near_zero = rowv.iter().filter(|v| v.abs() < 1.0).count();
+        assert!(near_zero as f64 > 0.85 * rowv.len() as f64);
+    }
+}

@@ -1,0 +1,49 @@
+//! Uniform filler dataset for unit tests and micro-benchmarks.
+
+use super::fit_domains;
+use crate::rng::seeded;
+use crate::table::Table;
+use rand::RngExt;
+
+/// Generate `n` rows of `dims` attributes uniform in `[0, 1)`.
+///
+/// Attribute names are `u0, u1, ...`.
+pub fn generate_uniform(n: usize, dims: usize, seed: u64) -> Table {
+    let mut rng = seeded(seed);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n); dims];
+    for _ in 0..n {
+        for col in cols.iter_mut() {
+            col.push(rng.random::<f64>());
+        }
+    }
+    let names: Vec<String> = (0..dims).map(|i| format!("u{i}")).collect();
+    fit_domains(
+        names
+            .iter()
+            .map(String::as_str)
+            .zip(cols)
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_range() {
+        let t = generate_uniform(200, 3, 0);
+        assert_eq!(t.n_rows(), 200);
+        assert_eq!(t.n_cols(), 3);
+        for c in 0..3 {
+            for &v in t.column(c).unwrap() {
+                assert!((0.0..1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_uniform(64, 2, 9), generate_uniform(64, 2, 9));
+    }
+}

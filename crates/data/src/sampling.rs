@@ -1,0 +1,133 @@
+//! Row-index sampling utilities.
+//!
+//! The paper keeps every expensive offline step lightweight by operating on
+//! small samples: clustering runs on a ~1% sample of each meta-subspace
+//! (§V footnote 6) and tabular preprocessing fits GMM/JKC models on a ≤1%
+//! sample (§VII-A). These helpers produce reproducible samples given a
+//! seeded RNG.
+
+use rand::{Rng, RngExt};
+
+/// Sample `n` distinct indices from `0..len` uniformly at random.
+///
+/// Uses a partial Fisher-Yates shuffle: O(len) memory, O(n) swaps. If
+/// `n >= len`, returns all indices (shuffled).
+pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, len: usize, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..len).collect();
+    let take = n.min(len);
+    for i in 0..take {
+        let j = rng.random_range(i..len);
+        idx.swap(i, j);
+    }
+    idx.truncate(take);
+    idx
+}
+
+/// Reservoir-sample `n` indices from a stream of `len` items.
+///
+/// Equivalent in distribution to [`sample_indices`] but uses O(n) memory;
+/// useful when `len` is large and only a small sample is needed.
+pub fn reservoir_indices<R: Rng + ?Sized>(rng: &mut R, len: usize, n: usize) -> Vec<usize> {
+    if n == 0 || len == 0 {
+        return Vec::new();
+    }
+    let take = n.min(len);
+    let mut reservoir: Vec<usize> = (0..take).collect();
+    for i in take..len {
+        let j = rng.random_range(0..=i);
+        if j < take {
+            reservoir[j] = i;
+        }
+    }
+    reservoir
+}
+
+/// Split `0..len` into a train/test partition with `test_fraction` of the
+/// indices in the second part. Both parts are shuffled.
+pub fn train_test_split<R: Rng + ?Sized>(
+    rng: &mut R,
+    len: usize,
+    test_fraction: f64,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..len).collect();
+    // Full Fisher-Yates shuffle.
+    for i in (1..len).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    let n_test = ((len as f64) * test_fraction.clamp(0.0, 1.0)).round() as usize;
+    let test = idx.split_off(len - n_test.min(len));
+    (idx, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut rng = seeded(1);
+        let s = sample_indices(&mut rng, 100, 10);
+        assert_eq!(s.len(), 10);
+        let set: HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_cap_at_len() {
+        let mut rng = seeded(2);
+        let s = sample_indices(&mut rng, 5, 50);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn reservoir_matches_cardinality() {
+        let mut rng = seeded(3);
+        let s = reservoir_indices(&mut rng, 1000, 10);
+        assert_eq!(s.len(), 10);
+        let set: HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(reservoir_indices(&mut rng, 0, 10).is_empty());
+        assert!(reservoir_indices(&mut rng, 10, 0).is_empty());
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        // Each of 20 items should appear in a size-5 reservoir about 25% of
+        // the time over many trials.
+        let mut rng = seeded(4);
+        let mut counts = [0usize; 20];
+        let trials = 4000;
+        for _ in 0..trials {
+            for i in reservoir_indices(&mut rng, 20, 5) {
+                counts[i] += 1;
+            }
+        }
+        for &c in &counts {
+            let frac = c as f64 / trials as f64;
+            assert!((frac - 0.25).abs() < 0.05, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn train_test_split_partitions() {
+        let mut rng = seeded(5);
+        let (train, test) = train_test_split(&mut rng, 100, 0.2);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        let all: HashSet<_> = train.iter().chain(test.iter()).collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn train_test_split_extremes() {
+        let mut rng = seeded(6);
+        let (train, test) = train_test_split(&mut rng, 10, 0.0);
+        assert_eq!((train.len(), test.len()), (10, 0));
+        let (train, test) = train_test_split(&mut rng, 10, 1.0);
+        assert_eq!((train.len(), test.len()), (0, 10));
+    }
+}

@@ -1,0 +1,173 @@
+//! Attribute and schema definitions.
+//!
+//! A database is a set of attributes `A = {a1, ..., a|A|}` whose domain
+//! space `D = domain(a1) × ... × domain(a|A|)` covers all tuples (paper
+//! §III-A). Attributes here are numeric with a closed interval domain.
+
+use crate::error::DataError;
+
+/// A single numeric attribute with a closed value domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name (e.g. `"rowc"` or `"price"`).
+    pub name: String,
+    /// Inclusive lower bound of the value domain.
+    pub lo: f64,
+    /// Inclusive upper bound of the value domain.
+    pub hi: f64,
+}
+
+impl Attribute {
+    /// Create an attribute with an explicit domain.
+    pub fn new(name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        Self {
+            name: name.into(),
+            lo,
+            hi,
+        }
+    }
+
+    /// Width of the attribute domain.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Clamp a value into the attribute domain.
+    pub fn clamp(&self, v: f64) -> f64 {
+        v.clamp(self.lo, self.hi)
+    }
+
+    /// Min-max normalize a value into `[0, 1]` over the attribute domain.
+    ///
+    /// Degenerate domains (zero width) map every value to `0.0`.
+    pub fn normalize(&self, v: f64) -> f64 {
+        if self.width() <= f64::EPSILON {
+            0.0
+        } else {
+            ((v - self.lo) / self.width()).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// An ordered collection of attributes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema from a list of attributes.
+    pub fn new(attrs: Vec<Attribute>) -> Self {
+        Self { attrs }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// All attributes, in column order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Attribute at a column index.
+    pub fn attr(&self, index: usize) -> Result<&Attribute, DataError> {
+        self.attrs.get(index).ok_or(DataError::ColumnOutOfBounds {
+            index,
+            len: self.attrs.len(),
+        })
+    }
+
+    /// Column index of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Result<usize, DataError> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Project the schema onto a subset of column indices.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema, DataError> {
+        let mut attrs = Vec::with_capacity(indices.len());
+        for &i in indices {
+            attrs.push(self.attr(i)?.clone());
+        }
+        Ok(Schema::new(attrs))
+    }
+
+    /// Attribute names in column order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attrs.iter().map(|a| a.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema3() -> Schema {
+        Schema::new(vec![
+            Attribute::new("a", 0.0, 10.0),
+            Attribute::new("b", -1.0, 1.0),
+            Attribute::new("c", 5.0, 5.0),
+        ])
+    }
+
+    #[test]
+    fn attribute_swaps_inverted_bounds() {
+        let a = Attribute::new("x", 10.0, 0.0);
+        assert_eq!(a.lo, 0.0);
+        assert_eq!(a.hi, 10.0);
+    }
+
+    #[test]
+    fn normalize_maps_into_unit_interval() {
+        let a = Attribute::new("x", 0.0, 10.0);
+        assert_eq!(a.normalize(0.0), 0.0);
+        assert_eq!(a.normalize(10.0), 1.0);
+        assert_eq!(a.normalize(5.0), 0.5);
+        // Out-of-domain values are clamped.
+        assert_eq!(a.normalize(-5.0), 0.0);
+        assert_eq!(a.normalize(25.0), 1.0);
+    }
+
+    #[test]
+    fn normalize_degenerate_domain_is_zero() {
+        let a = Attribute::new("x", 5.0, 5.0);
+        assert_eq!(a.normalize(5.0), 0.0);
+    }
+
+    #[test]
+    fn index_of_finds_by_name() {
+        let s = schema3();
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(matches!(
+            s.index_of("zzz"),
+            Err(DataError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn project_reorders_and_subsets() {
+        let s = schema3();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.names(), vec!["c", "a"]);
+        assert!(s.project(&[7]).is_err());
+    }
+
+    #[test]
+    fn attr_out_of_bounds_errors() {
+        let s = schema3();
+        assert!(matches!(
+            s.attr(3),
+            Err(DataError::ColumnOutOfBounds { index: 3, len: 3 })
+        ));
+    }
+}

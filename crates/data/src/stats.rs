@@ -1,0 +1,180 @@
+//! Per-column summary statistics.
+//!
+//! Used by the preprocessing layer to pick an encoder per attribute
+//! (peaked/multi-modal → GMM, smooth/trend-like → Jenks; §VII-A) and by the
+//! dataset generators' tests.
+
+/// Summary statistics of one numeric column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Number of values.
+    pub count: usize,
+}
+
+impl ColumnStats {
+    /// Compute stats over a column. Empty input produces a zeroed summary.
+    pub fn compute(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std: 0.0,
+                count: 0,
+            };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        let mean = sum / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        Self {
+            min,
+            max,
+            mean,
+            std: var.sqrt(),
+            count: values.len(),
+        }
+    }
+}
+
+/// Equal-width histogram over a column.
+///
+/// Returns `bins` counts spanning `[min, max]`; degenerate columns (all
+/// values equal) put all mass in the first bin.
+pub fn histogram(values: &[f64], bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "bins must be > 0");
+    let mut counts = vec![0usize; bins];
+    if values.is_empty() {
+        return counts;
+    }
+    let stats = ColumnStats::compute(values);
+    let width = stats.max - stats.min;
+    if width <= f64::EPSILON {
+        counts[0] = values.len();
+        return counts;
+    }
+    for &v in values {
+        let mut b = ((v - stats.min) / width * bins as f64) as usize;
+        if b >= bins {
+            b = bins - 1;
+        }
+        counts[b] += 1;
+    }
+    counts
+}
+
+/// Count local maxima of a (smoothed) histogram — a cheap modality probe.
+///
+/// A bin is a peak when it exceeds both neighbours and carries at least
+/// `min_mass` fraction of the total count. The histogram is first smoothed
+/// with a 3-bin moving average to suppress sampling noise.
+pub fn count_peaks(hist: &[usize], min_mass: f64) -> usize {
+    if hist.len() < 3 {
+        return usize::from(hist.iter().any(|&c| c > 0));
+    }
+    let total: usize = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let smooth: Vec<f64> = (0..hist.len())
+        .map(|i| {
+            let lo = i.saturating_sub(1);
+            let hi = (i + 1).min(hist.len() - 1);
+            (lo..=hi).map(|j| hist[j] as f64).sum::<f64>() / (hi - lo + 1) as f64
+        })
+        .collect();
+    let threshold = min_mass * total as f64;
+    let mut peaks = 0;
+    for i in 1..smooth.len() - 1 {
+        if smooth[i] > smooth[i - 1] && smooth[i] >= smooth[i + 1] && smooth[i] >= threshold {
+            peaks += 1;
+        }
+    }
+    // Monotone histograms have their mode at an endpoint.
+    if smooth[0] > smooth[1] && smooth[0] >= threshold {
+        peaks += 1;
+    }
+    let n = smooth.len();
+    if smooth[n - 1] > smooth[n - 2] && smooth[n - 1] >= threshold {
+        peaks += 1;
+    }
+    peaks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{randn_scaled, seeded};
+
+    #[test]
+    fn stats_on_known_values() {
+        let s = ColumnStats::compute(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn stats_on_empty_is_zeroed() {
+        let s = ColumnStats::compute(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_distributes_counts() {
+        let h = histogram(&[0.0, 0.1, 0.5, 0.9, 1.0], 2);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        // 0.5 lands exactly on the bin boundary and belongs to the upper bin.
+        assert_eq!(h, vec![2, 3]);
+    }
+
+    #[test]
+    fn histogram_degenerate_column() {
+        let h = histogram(&[2.0, 2.0, 2.0], 4);
+        assert_eq!(h, vec![3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn bimodal_data_has_two_peaks() {
+        let mut rng = seeded(0);
+        let mut v = Vec::new();
+        for _ in 0..2000 {
+            v.push(randn_scaled(&mut rng, -4.0, 0.5));
+            v.push(randn_scaled(&mut rng, 4.0, 0.5));
+        }
+        let h = histogram(&v, 32);
+        assert_eq!(count_peaks(&h, 0.01), 2);
+    }
+
+    #[test]
+    fn monotone_data_has_one_endpoint_peak() {
+        // Exponentially decaying histogram — smooth/trend-like.
+        let v: Vec<f64> = (0..4000).map(|i| (i as f64 / 4000.0).powi(3)).collect();
+        let h = histogram(&v, 32);
+        assert_eq!(count_peaks(&h, 0.01), 1);
+    }
+
+    #[test]
+    fn count_peaks_edge_cases() {
+        assert_eq!(count_peaks(&[], 0.1), 0);
+        assert_eq!(count_peaks(&[5], 0.1), 1);
+        assert_eq!(count_peaks(&[0, 0], 0.1), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Subspace decomposition (paper §III-A, §V-E).
+//!
+//! Existing IDEs — and LTE — decompose a user-interest space `Du` into a set
+//! of disjoint low-dimensional subspaces `{Di}`, `Du = D1 × ... × Dn`. LTE
+//! pre-trains one meta-learner per *meta-subspace*; at exploration time the
+//! user's chosen attributes are mapped onto those meta-subspaces. The paper
+//! splits the domain space randomly into 2D meta-subspaces because it
+//! assumes zero knowledge about semantics (§V-E); we reproduce exactly that,
+//! with a seeded RNG.
+
+use crate::error::DataError;
+use crate::schema::Schema;
+use crate::table::Table;
+use rand::{Rng, RngExt};
+
+/// A low-dimensional subspace: an ordered subset of attribute indices of the
+/// full schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Subspace {
+    attrs: Vec<usize>,
+}
+
+impl Subspace {
+    /// Create a subspace over the given attribute indices.
+    pub fn new(attrs: Vec<usize>) -> Self {
+        Self { attrs }
+    }
+
+    /// The attribute indices (into the full schema).
+    pub fn attr_indices(&self) -> &[usize] {
+        &self.attrs
+    }
+
+    /// Subspace dimensionality.
+    pub fn dim(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Project a full-space row onto this subspace.
+    pub fn project_row(&self, row: &[f64]) -> Vec<f64> {
+        self.attrs.iter().map(|&i| row[i]).collect()
+    }
+
+    /// Project a full table onto this subspace.
+    pub fn project_table(&self, table: &Table) -> Result<Table, DataError> {
+        table.project(&self.attrs)
+    }
+
+    /// Human-readable label using schema names, e.g. `"(ra, dec)"`.
+    pub fn label(&self, schema: &Schema) -> String {
+        let names: Vec<&str> = self
+            .attrs
+            .iter()
+            .map(|&i| schema.attr(i).map(|a| a.name.as_str()).unwrap_or("?"))
+            .collect();
+        format!("({})", names.join(", "))
+    }
+}
+
+/// Randomly split `n_attrs` attributes into disjoint subspaces of dimension
+/// `subspace_dim` (the paper's default is 2). When `n_attrs` is not a
+/// multiple of `subspace_dim`, the final subspace holds the remainder
+/// (dimension ≥ 1).
+pub fn decompose_random<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_attrs: usize,
+    subspace_dim: usize,
+) -> Vec<Subspace> {
+    assert!(subspace_dim >= 1, "subspace_dim must be >= 1");
+    let mut idx: Vec<usize> = (0..n_attrs).collect();
+    for i in (1..idx.len()).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx.chunks(subspace_dim)
+        .map(|chunk| Subspace::new(chunk.to_vec()))
+        .collect()
+}
+
+/// Split the first `n_attrs` attributes in order (deterministic layout used
+/// by tests and by experiments that fix the subspace structure).
+pub fn decompose_sequential(n_attrs: usize, subspace_dim: usize) -> Vec<Subspace> {
+    assert!(subspace_dim >= 1, "subspace_dim must be >= 1");
+    (0..n_attrs)
+        .collect::<Vec<usize>>()
+        .chunks(subspace_dim)
+        .map(|chunk| Subspace::new(chunk.to_vec()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use crate::schema::Attribute;
+
+    #[test]
+    fn project_row_selects_in_order() {
+        let s = Subspace::new(vec![2, 0]);
+        assert_eq!(s.project_row(&[10.0, 20.0, 30.0]), vec![30.0, 10.0]);
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn random_decomposition_partitions_attributes() {
+        let mut rng = seeded(0);
+        let subs = decompose_random(&mut rng, 8, 2);
+        assert_eq!(subs.len(), 4);
+        let mut all: Vec<usize> = subs.iter().flat_map(|s| s.attrs.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_decomposition_handles_remainder() {
+        let mut rng = seeded(1);
+        let subs = decompose_random(&mut rng, 5, 2);
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs[2].dim(), 1);
+    }
+
+    #[test]
+    fn sequential_decomposition_is_stable() {
+        let subs = decompose_sequential(6, 2);
+        assert_eq!(subs[0].attr_indices(), &[0, 1]);
+        assert_eq!(subs[1].attr_indices(), &[2, 3]);
+        assert_eq!(subs[2].attr_indices(), &[4, 5]);
+    }
+
+    #[test]
+    fn label_uses_schema_names() {
+        let schema = Schema::new(vec![
+            Attribute::new("ra", 0.0, 1.0),
+            Attribute::new("dec", 0.0, 1.0),
+        ]);
+        let s = Subspace::new(vec![0, 1]);
+        assert_eq!(s.label(&schema), "(ra, dec)");
+    }
+
+    #[test]
+    fn project_table_matches_project_row() {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 0.0, 1.0),
+            Attribute::new("b", 0.0, 1.0),
+            Attribute::new("c", 0.0, 1.0),
+        ]);
+        let t = Table::from_rows(schema, &[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let s = Subspace::new(vec![2, 1]);
+        let p = s.project_table(&t).unwrap();
+        assert_eq!(p.row(0).unwrap(), s.project_row(&t.row(0).unwrap()));
+    }
+}

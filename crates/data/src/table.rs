@@ -1,0 +1,365 @@
+//! Columnar table storage.
+//!
+//! Tables are immutable once built; exploration code projects them onto
+//! subspaces, samples them, and iterates rows. Storage is column-major
+//! (`Vec<f64>` per attribute) which makes per-attribute preprocessing (GMM /
+//! Jenks fitting, §VII-A) cache friendly, while [`Table::row`] materializes
+//! row vectors for geometry and classifier input.
+
+use crate::error::DataError;
+use crate::sampling;
+use crate::schema::Schema;
+use rand::Rng;
+
+/// An immutable, column-major numeric table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Vec<f64>>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// Build a table from a schema and matching columns.
+    pub fn new(schema: Schema, columns: Vec<Vec<f64>>) -> Result<Self, DataError> {
+        if schema.len() != columns.len() {
+            return Err(DataError::ColumnLengthMismatch {
+                column: "<schema>".into(),
+                expected: schema.len(),
+                actual: columns.len(),
+            });
+        }
+        let n_rows = columns.first().map_or(0, Vec::len);
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != n_rows {
+                return Err(DataError::ColumnLengthMismatch {
+                    column: schema.attr(i)?.name.clone(),
+                    expected: n_rows,
+                    actual: col.len(),
+                });
+            }
+        }
+        Ok(Self {
+            schema,
+            columns,
+            n_rows,
+        })
+    }
+
+    /// Build a table from row-major data.
+    pub fn from_rows(schema: Schema, rows: &[Vec<f64>]) -> Result<Self, DataError> {
+        let n_cols = schema.len();
+        let mut columns = vec![Vec::with_capacity(rows.len()); n_cols];
+        for (ri, row) in rows.iter().enumerate() {
+            if row.len() != n_cols {
+                return Err(DataError::ColumnLengthMismatch {
+                    column: format!("<row {ri}>"),
+                    expected: n_cols,
+                    actual: row.len(),
+                });
+            }
+            for (c, &v) in row.iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        Table::new(schema, columns)
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Borrow a column by index.
+    pub fn column(&self, index: usize) -> Result<&[f64], DataError> {
+        self.columns
+            .get(index)
+            .map(Vec::as_slice)
+            .ok_or(DataError::ColumnOutOfBounds {
+                index,
+                len: self.columns.len(),
+            })
+    }
+
+    /// Borrow a column by attribute name.
+    pub fn column_by_name(&self, name: &str) -> Result<&[f64], DataError> {
+        let idx = self.schema.index_of(name)?;
+        self.column(idx)
+    }
+
+    /// Single cell value.
+    pub fn value(&self, row: usize, col: usize) -> Result<f64, DataError> {
+        let column = self.column(col)?;
+        column.get(row).copied().ok_or(DataError::RowOutOfBounds {
+            index: row,
+            len: self.n_rows,
+        })
+    }
+
+    /// Materialize a row as a vector.
+    pub fn row(&self, index: usize) -> Result<Vec<f64>, DataError> {
+        if index >= self.n_rows {
+            return Err(DataError::RowOutOfBounds {
+                index,
+                len: self.n_rows,
+            });
+        }
+        Ok(self.columns.iter().map(|c| c[index]).collect())
+    }
+
+    /// Write a row into a caller-provided buffer (avoids per-row allocation
+    /// in hot loops). The buffer is cleared first.
+    pub fn row_into(&self, index: usize, out: &mut Vec<f64>) -> Result<(), DataError> {
+        if index >= self.n_rows {
+            return Err(DataError::RowOutOfBounds {
+                index,
+                len: self.n_rows,
+            });
+        }
+        out.clear();
+        out.extend(self.columns.iter().map(|c| c[index]));
+        Ok(())
+    }
+
+    /// Iterate rows as freshly allocated vectors.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<f64>> + '_ {
+        (0..self.n_rows).map(move |i| self.columns.iter().map(|c| c[i]).collect())
+    }
+
+    /// Materialize all rows (row-major copy).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.iter_rows().collect()
+    }
+
+    /// Project the table onto a subset of columns (attribute indices).
+    pub fn project(&self, indices: &[usize]) -> Result<Table, DataError> {
+        let schema = self.schema.project(indices)?;
+        let mut columns = Vec::with_capacity(indices.len());
+        for &i in indices {
+            columns.push(self.column(i)?.to_vec());
+        }
+        Table::new(schema, columns)
+    }
+
+    /// Select a subset of rows by index, in the given order.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Table, DataError> {
+        for &i in indices {
+            if i >= self.n_rows {
+                return Err(DataError::RowOutOfBounds {
+                    index: i,
+                    len: self.n_rows,
+                });
+            }
+        }
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| indices.iter().map(|&i| c[i]).collect())
+            .collect();
+        Table::new(self.schema.clone(), columns)
+    }
+
+    /// Uniform random sample (without replacement) of `n` rows.
+    ///
+    /// If `n >= n_rows`, the whole table is returned (copied).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Table {
+        if n >= self.n_rows {
+            return self.clone();
+        }
+        let idx = sampling::sample_indices(rng, self.n_rows, n);
+        self.select_rows(&idx)
+            .expect("sampled indices are in range")
+    }
+
+    /// Sample a fixed fraction of rows, e.g. the paper's 1% clustering sample
+    /// (§V footnote 6). Guarantees at least `min` rows (clamped to table
+    /// size) so tiny tables remain usable.
+    pub fn sample_fraction<R: Rng + ?Sized>(&self, rng: &mut R, fraction: f64, min: usize) -> Table {
+        let want = ((self.n_rows as f64 * fraction).ceil() as usize)
+            .max(min)
+            .min(self.n_rows);
+        self.sample(rng, want)
+    }
+}
+
+/// Incremental row-oriented table builder.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<Vec<f64>>,
+}
+
+impl TableBuilder {
+    /// Start building a table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let n = schema.len();
+        Self {
+            schema,
+            columns: vec![Vec::new(); n],
+        }
+    }
+
+    /// Reserve capacity for `n` rows.
+    pub fn with_capacity(mut self, n: usize) -> Self {
+        for c in &mut self.columns {
+            c.reserve(n);
+        }
+        self
+    }
+
+    /// Append one row; the row length must match the schema.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<(), DataError> {
+        if row.len() != self.columns.len() {
+            return Err(DataError::ColumnLengthMismatch {
+                column: "<row>".into(),
+                expected: self.columns.len(),
+                actual: row.len(),
+            });
+        }
+        for (c, &v) in row.iter().enumerate() {
+            self.columns[c].push(v);
+        }
+        Ok(())
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// True when no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Result<Table, DataError> {
+        Table::new(self.schema, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use crate::schema::Attribute;
+
+    fn small_table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::new("x", 0.0, 10.0),
+            Attribute::new("y", 0.0, 10.0),
+        ]);
+        Table::from_rows(
+            schema,
+            &[
+                vec![1.0, 2.0],
+                vec![3.0, 4.0],
+                vec![5.0, 6.0],
+                vec![7.0, 8.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let t = small_table();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.row(1).unwrap(), vec![3.0, 4.0]);
+        assert_eq!(t.column_by_name("y").unwrap(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(t.to_rows().len(), 4);
+    }
+
+    #[test]
+    fn mismatched_row_length_is_rejected() {
+        let schema = Schema::new(vec![Attribute::new("x", 0.0, 1.0)]);
+        assert!(Table::from_rows(schema, &[vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn mismatched_column_length_is_rejected() {
+        let schema = Schema::new(vec![
+            Attribute::new("x", 0.0, 1.0),
+            Attribute::new("y", 0.0, 1.0),
+        ]);
+        assert!(Table::new(schema, vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn project_keeps_order() {
+        let t = small_table();
+        let p = t.project(&[1]).unwrap();
+        assert_eq!(p.n_cols(), 1);
+        assert_eq!(p.column(0).unwrap(), &[2.0, 4.0, 6.0, 8.0]);
+        assert!(t.project(&[2]).is_err());
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let t = small_table();
+        let s = t.select_rows(&[3, 0]).unwrap();
+        assert_eq!(s.row(0).unwrap(), vec![7.0, 8.0]);
+        assert_eq!(s.row(1).unwrap(), vec![1.0, 2.0]);
+        assert!(t.select_rows(&[9]).is_err());
+    }
+
+    #[test]
+    fn sample_without_replacement_has_unique_rows() {
+        let t = small_table();
+        let mut rng = seeded(0);
+        let s = t.sample(&mut rng, 3);
+        assert_eq!(s.n_rows(), 3);
+        let mut rows = s.to_rows();
+        rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rows.dedup();
+        assert_eq!(rows.len(), 3, "sampled rows must be distinct");
+    }
+
+    #[test]
+    fn sample_larger_than_table_returns_all() {
+        let t = small_table();
+        let mut rng = seeded(0);
+        assert_eq!(t.sample(&mut rng, 100).n_rows(), 4);
+    }
+
+    #[test]
+    fn sample_fraction_respects_min() {
+        let t = small_table();
+        let mut rng = seeded(0);
+        let s = t.sample_fraction(&mut rng, 0.01, 2);
+        assert_eq!(s.n_rows(), 2);
+    }
+
+    #[test]
+    fn row_into_reuses_buffer() {
+        let t = small_table();
+        let mut buf = vec![99.0; 8];
+        t.row_into(2, &mut buf).unwrap();
+        assert_eq!(buf, vec![5.0, 6.0]);
+        assert!(t.row_into(10, &mut buf).is_err());
+    }
+
+    #[test]
+    fn builder_accumulates_rows() {
+        let schema = Schema::new(vec![Attribute::new("x", 0.0, 1.0)]);
+        let mut b = TableBuilder::new(schema).with_capacity(2);
+        assert!(b.is_empty());
+        b.push_row(&[0.5]).unwrap();
+        b.push_row(&[0.7]).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(b.push_row(&[0.1, 0.2]).is_err());
+        let t = b.build().unwrap();
+        assert_eq!(t.n_rows(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the data substrate.
+
+use lte_data::rng::seeded;
+use lte_data::sampling::{reservoir_indices, sample_indices, train_test_split};
+use lte_data::schema::{Attribute, Schema};
+use lte_data::subspace::decompose_random;
+use lte_data::table::Table;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Sampled indices are always distinct and in range, for any (len, n).
+    #[test]
+    fn sample_indices_distinct(len in 0usize..500, n in 0usize..600, seed in 0u64..100) {
+        let mut rng = seeded(seed);
+        let s = sample_indices(&mut rng, len, n);
+        prop_assert_eq!(s.len(), n.min(len));
+        let set: HashSet<_> = s.iter().collect();
+        prop_assert_eq!(set.len(), s.len());
+        prop_assert!(s.iter().all(|&i| i < len));
+    }
+
+    /// Reservoir sampling has the same cardinality guarantees.
+    #[test]
+    fn reservoir_distinct(len in 0usize..500, n in 0usize..64, seed in 0u64..100) {
+        let mut rng = seeded(seed);
+        let s = reservoir_indices(&mut rng, len, n);
+        prop_assert_eq!(s.len(), n.min(len));
+        let set: HashSet<_> = s.iter().collect();
+        prop_assert_eq!(set.len(), s.len());
+    }
+
+    /// Train/test split partitions the index range exactly.
+    #[test]
+    fn split_partitions(len in 0usize..300, frac in 0.0..1.0f64, seed in 0u64..100) {
+        let mut rng = seeded(seed);
+        let (train, test) = train_test_split(&mut rng, len, frac);
+        prop_assert_eq!(train.len() + test.len(), len);
+        let all: HashSet<_> = train.iter().chain(test.iter()).collect();
+        prop_assert_eq!(all.len(), len);
+    }
+
+    /// Random subspace decomposition is a partition of the attributes.
+    #[test]
+    fn decomposition_partitions_attrs(n_attrs in 1usize..20, dim in 1usize..4, seed in 0u64..100) {
+        let mut rng = seeded(seed);
+        let subs = decompose_random(&mut rng, n_attrs, dim);
+        let mut all: Vec<usize> = subs.iter().flat_map(|s| s.attr_indices().to_vec()).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n_attrs).collect::<Vec<_>>());
+        for s in &subs[..subs.len().saturating_sub(1)] {
+            prop_assert_eq!(s.dim(), dim);
+        }
+    }
+
+    /// Attribute normalization always lands in [0, 1] and is monotone.
+    #[test]
+    fn normalize_bounded_monotone(lo in -1e5..1e5f64, width in 0.0..1e5f64, a in -1e6..1e6f64, b in -1e6..1e6f64) {
+        let attr = Attribute::new("x", lo, lo + width);
+        let na = attr.normalize(a);
+        let nb = attr.normalize(b);
+        prop_assert!((0.0..=1.0).contains(&na));
+        if a <= b {
+            prop_assert!(na <= nb + 1e-12);
+        }
+    }
+
+    /// Projection then row access equals row access then projection.
+    #[test]
+    fn project_commutes_with_rows(
+        rows in proptest::collection::vec(proptest::collection::vec(-10.0..10.0f64, 3), 1..30),
+        keep in proptest::sample::subsequence(vec![0usize, 1, 2], 1..=3),
+    ) {
+        let schema = Schema::new(vec![
+            Attribute::new("a", -10.0, 10.0),
+            Attribute::new("b", -10.0, 10.0),
+            Attribute::new("c", -10.0, 10.0),
+        ]);
+        let t = Table::from_rows(schema, &rows).expect("table");
+        let p = t.project(&keep).expect("projection");
+        for (i, row) in rows.iter().enumerate() {
+            let expected: Vec<f64> = keep.iter().map(|&c| row[c]).collect();
+            prop_assert_eq!(p.row(i).expect("row"), expected);
+        }
+    }
+}

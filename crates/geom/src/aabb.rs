@@ -1,0 +1,124 @@
+//! Axis-aligned bounding boxes in arbitrary dimension.
+//!
+//! Used as the N-dimensional fallback for circumscribed regions when a
+//! subspace has dimension > 2 (the paper notes minimum bounding rectangles
+//! are a valid alternative to convex hulls, §V-C), and by tests to describe
+//! rectangular ground-truth interest regions.
+
+/// An axis-aligned box `[lo_i, hi_i]` per dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aabb {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Aabb {
+    /// Build a box from explicit bounds. Inverted bounds are swapped.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound dimensionality mismatch");
+        let mut lo = lo;
+        let mut hi = hi;
+        for i in 0..lo.len() {
+            if lo[i] > hi[i] {
+                std::mem::swap(&mut lo[i], &mut hi[i]);
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// Smallest box enclosing all rows; `None` for empty input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Option<Self> {
+        let first = rows.first()?;
+        let mut lo = first.clone();
+        let mut hi = first.clone();
+        for row in &rows[1..] {
+            for (i, &v) in row.iter().enumerate() {
+                lo[i] = lo[i].min(v);
+                hi[i] = hi[i].max(v);
+            }
+        }
+        Some(Self { lo, hi })
+    }
+
+    /// Box dimensionality.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bounds.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Inclusive containment test.
+    pub fn contains(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(p.len(), self.lo.len());
+        p.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(&v, (&lo, &hi))| v >= lo && v <= hi)
+    }
+
+    /// Grow the box by `margin` in every direction.
+    pub fn inflate(&self, margin: f64) -> Aabb {
+        Aabb {
+            lo: self.lo.iter().map(|v| v - margin).collect(),
+            hi: self.hi.iter().map(|v| v + margin).collect(),
+        }
+    }
+
+    /// Box volume (product of side lengths).
+    pub fn volume(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(lo, hi)| hi - lo)
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_inclusive() {
+        let b = Aabb::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+        assert!(b.contains(&[0.0, 0.0]));
+        assert!(b.contains(&[1.0, 2.0]));
+        assert!(b.contains(&[0.5, 1.0]));
+        assert!(!b.contains(&[1.1, 1.0]));
+    }
+
+    #[test]
+    fn inverted_bounds_are_swapped() {
+        let b = Aabb::new(vec![5.0], vec![1.0]);
+        assert_eq!(b.lo(), &[1.0]);
+        assert_eq!(b.hi(), &[5.0]);
+    }
+
+    #[test]
+    fn from_rows_encloses_everything() {
+        let rows = vec![vec![1.0, 5.0], vec![-2.0, 3.0], vec![0.0, 7.0]];
+        let b = Aabb::from_rows(&rows).unwrap();
+        for r in &rows {
+            assert!(b.contains(r));
+        }
+        assert_eq!(b.lo(), &[-2.0, 3.0]);
+        assert_eq!(b.hi(), &[1.0, 7.0]);
+        assert!(Aabb::from_rows(&[]).is_none());
+    }
+
+    #[test]
+    fn inflate_and_volume() {
+        let b = Aabb::new(vec![0.0, 0.0], vec![2.0, 3.0]);
+        assert_eq!(b.volume(), 6.0);
+        let g = b.inflate(1.0);
+        assert!(g.contains(&[-0.5, -0.5]));
+        assert_eq!(g.volume(), 4.0 * 5.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! 2D convex hulls via Andrew's monotone chain.
+//!
+//! The paper builds convex hulls over ψ-nearest cluster-center sets as the
+//! basic building block of simulated UISs (§V-C, cost O(ψ·log ψ)) and over
+//! expanded neighborhoods in the few-shot optimizer (§VII-B). Hull vertices
+//! are returned in counter-clockwise order with interior and collinear
+//! points removed.
+
+use crate::point::{cross, Point2};
+
+/// Compute the convex hull of a point set.
+///
+/// Returns vertices in counter-clockwise order. Degenerate inputs degrade
+/// gracefully: fewer than 3 distinct points return the distinct points
+/// themselves (a point or a segment); fully collinear inputs return the two
+/// extreme points.
+pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+
+    if pts.len() <= 2 {
+        return pts;
+    }
+
+    let mut lower: Vec<Point2> = Vec::with_capacity(pts.len());
+    for &p in &pts {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0 {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+
+    let mut upper: Vec<Point2> = Vec::with_capacity(pts.len());
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0 {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.len() < 2 {
+        // All points collinear: monotone chain collapses to the extremes.
+        return vec![pts[0], pts[pts.len() - 1]];
+    }
+    lower
+}
+
+/// 1D "hull": the closed interval spanned by the values.
+///
+/// Returns `None` for empty input.
+pub fn interval_hull(values: &[f64]) -> Option<(f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::ConvexPolygon;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn square_hull_drops_interior_points() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0),
+            p(0.0, 1.0),
+            p(0.5, 0.5), // interior
+            p(0.5, 0.0), // edge-collinear
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise() {
+        let pts = vec![p(0.0, 0.0), p(2.0, 0.0), p(1.0, 2.0), p(1.0, 0.5)];
+        let h = convex_hull(&pts);
+        // Signed area must be positive for CCW ordering.
+        let mut area2 = 0.0;
+        for i in 0..h.len() {
+            let j = (i + 1) % h.len();
+            area2 += h[i].x * h[j].y - h[j].x * h[i].y;
+        }
+        assert!(area2 > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[p(1.0, 1.0)]).len(), 1);
+        assert_eq!(convex_hull(&[p(1.0, 1.0), p(1.0, 1.0)]).len(), 1);
+        assert_eq!(convex_hull(&[p(0.0, 0.0), p(1.0, 1.0)]).len(), 2);
+        // Collinear points collapse to extremes.
+        let h = convex_hull(&[p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0), p(3.0, 3.0)]);
+        assert_eq!(h.len(), 2);
+        assert!(h.contains(&p(0.0, 0.0)) && h.contains(&p(3.0, 3.0)));
+    }
+
+    #[test]
+    fn hull_contains_all_input_points() {
+        // Deterministic pseudo-random scatter.
+        let pts: Vec<Point2> = (0..100)
+            .map(|i| {
+                let a = (i as f64 * 0.7371).sin() * 10.0;
+                let b = (i as f64 * 1.3113).cos() * 10.0;
+                p(a, b)
+            })
+            .collect();
+        let h = ConvexPolygon::from_points(&pts);
+        for q in &pts {
+            assert!(h.contains(*q), "hull must contain input point {q:?}");
+        }
+    }
+
+    #[test]
+    fn interval_hull_spans_values() {
+        assert_eq!(interval_hull(&[3.0, -1.0, 2.0]), Some((-1.0, 3.0)));
+        assert_eq!(interval_hull(&[]), None);
+        assert_eq!(interval_hull(&[5.0]), Some((5.0, 5.0)));
+    }
+}

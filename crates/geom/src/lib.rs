@@ -1,0 +1,31 @@
+//! Computational-geometry substrate for LTE.
+//!
+//! User-interest subregions (UIS) in the paper are built from geometric
+//! primitives: simulated UISs are unions of convex hulls over cluster
+//! centers (§V-C), the few-shot optimizer builds outer/inner circumscribed
+//! regions (§VII-B), and the DSM baseline maintains a positive convex
+//! polytope and negative convex cones in its dual-space model. This crate
+//! provides those primitives for 1D and 2D subspaces (the paper's default
+//! decomposition granularity), with an N-dimensional axis-aligned fallback:
+//!
+//! * [`Point2`] — planar points and vector helpers,
+//! * [`hull::convex_hull`] — Andrew's monotone chain in O(n log n),
+//! * [`ConvexPolygon`] — point-in-convex-polygon with an epsilon boundary,
+//! * [`Region`] / [`RegionUnion`] — arbitrary-shape UIS membership
+//!   (union of convex parts, per the convex decomposition theory the paper
+//!   invokes),
+//! * [`polytope`] — positive-polytope / negative-cone classification for the
+//!   dual-space model (DSM) baseline.
+
+pub mod aabb;
+pub mod hull;
+pub mod point;
+pub mod polygon;
+pub mod polytope;
+pub mod region;
+
+pub use aabb::Aabb;
+pub use hull::convex_hull;
+pub use point::{dist, dist2, Point2};
+pub use polygon::ConvexPolygon;
+pub use region::{Region, RegionUnion};

@@ -1,0 +1,125 @@
+//! Planar points and distance helpers.
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Construct from the first two entries of a slice.
+    ///
+    /// 1D slices are lifted to the x-axis (`y = 0`), so the same geometry
+    /// code serves 1D subspaces.
+    pub fn from_slice(v: &[f64]) -> Self {
+        match v {
+            [] => Self::new(0.0, 0.0),
+            [x] => Self::new(*x, 0.0),
+            [x, y, ..] => Self::new(*x, *y),
+        }
+    }
+
+    /// Squared Euclidean distance to another point.
+    pub fn dist2(&self, other: &Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Point2) -> f64 {
+        self.dist2(other).sqrt()
+    }
+}
+
+/// Cross product of (b - a) × (c - a): positive when `c` is left of ray
+/// `a→b`, negative when right, zero when collinear.
+pub fn cross(a: Point2, b: Point2, c: Point2) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Squared Euclidean distance between equal-length vectors.
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between equal-length vectors.
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    dist2(a, b).sqrt()
+}
+
+/// Squared distance from point `p` to segment `[a, b]`.
+pub fn dist2_point_segment(p: Point2, a: Point2, b: Point2) -> f64 {
+    let ab = (b.x - a.x, b.y - a.y);
+    let ap = (p.x - a.x, p.y - a.y);
+    let len2 = ab.0 * ab.0 + ab.1 * ab.1;
+    if len2 <= f64::EPSILON {
+        return p.dist2(&a);
+    }
+    let t = ((ap.0 * ab.0 + ap.1 * ab.1) / len2).clamp(0.0, 1.0);
+    let proj = Point2::new(a.x + t * ab.0, a.y + t * ab.1);
+    p.dist2(&proj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_slice_handles_all_arities() {
+        assert_eq!(Point2::from_slice(&[]), Point2::new(0.0, 0.0));
+        assert_eq!(Point2::from_slice(&[3.0]), Point2::new(3.0, 0.0));
+        assert_eq!(Point2::from_slice(&[3.0, 4.0]), Point2::new(3.0, 4.0));
+        assert_eq!(Point2::from_slice(&[3.0, 4.0, 5.0]), Point2::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist(&[1.0], &[4.0]), 3.0);
+    }
+
+    #[test]
+    fn cross_sign_encodes_orientation() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 0.0);
+        assert!(cross(a, b, Point2::new(0.5, 1.0)) > 0.0); // left
+        assert!(cross(a, b, Point2::new(0.5, -1.0)) < 0.0); // right
+        assert_eq!(cross(a, b, Point2::new(2.0, 0.0)), 0.0); // collinear
+    }
+
+    #[test]
+    fn point_segment_distance() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(10.0, 0.0);
+        // Projection inside the segment.
+        assert_eq!(dist2_point_segment(Point2::new(5.0, 3.0), a, b), 9.0);
+        // Beyond the endpoints clamps to the endpoint.
+        assert_eq!(dist2_point_segment(Point2::new(-3.0, 0.0), a, b), 9.0);
+        assert_eq!(dist2_point_segment(Point2::new(13.0, 0.0), a, b), 9.0);
+        // Degenerate segment.
+        assert_eq!(
+            dist2_point_segment(Point2::new(1.0, 1.0), a, a),
+            2.0
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Convex polygons with robust containment tests.
+
+use crate::hull::convex_hull;
+use crate::point::{cross, dist2_point_segment, Point2};
+
+/// Boundary tolerance for containment tests. Points within this distance of
+/// the boundary count as inside, which keeps hull-vertex membership stable
+/// under floating-point noise.
+pub const EPS: f64 = 1e-9;
+
+/// A convex polygon with vertices in counter-clockwise order.
+///
+/// Degenerate polygons (a single point or a segment) are representable and
+/// use distance-based containment with an [`EPS`] tolerance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConvexPolygon {
+    vertices: Vec<Point2>,
+}
+
+impl ConvexPolygon {
+    /// Build the convex hull of a point set as a polygon.
+    pub fn from_points(points: &[Point2]) -> Self {
+        Self {
+            vertices: convex_hull(points),
+        }
+    }
+
+    /// Build from raw subspace rows (1D rows are lifted to the x-axis).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let pts: Vec<Point2> = rows.iter().map(|r| Point2::from_slice(r)).collect();
+        Self::from_points(&pts)
+    }
+
+    /// The hull vertices (counter-clockwise).
+    pub fn vertices(&self) -> &[Point2] {
+        &self.vertices
+    }
+
+    /// True when the polygon has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Polygon area (0 for degenerate polygons).
+    pub fn area(&self) -> f64 {
+        if self.vertices.len() < 3 {
+            return 0.0;
+        }
+        let mut area2 = 0.0;
+        for i in 0..self.vertices.len() {
+            let j = (i + 1) % self.vertices.len();
+            area2 += self.vertices[i].x * self.vertices[j].y
+                - self.vertices[j].x * self.vertices[i].y;
+        }
+        area2.abs() / 2.0
+    }
+
+    /// Centroid of the vertices (not the area centroid); `None` if empty.
+    pub fn vertex_centroid(&self) -> Option<Point2> {
+        if self.vertices.is_empty() {
+            return None;
+        }
+        let n = self.vertices.len() as f64;
+        let sx: f64 = self.vertices.iter().map(|p| p.x).sum();
+        let sy: f64 = self.vertices.iter().map(|p| p.y).sum();
+        Some(Point2::new(sx / n, sy / n))
+    }
+
+    /// Point-in-convex-polygon test with an epsilon-tolerant boundary.
+    pub fn contains(&self, p: Point2) -> bool {
+        match self.vertices.len() {
+            0 => false,
+            1 => self.vertices[0].dist2(&p) <= EPS,
+            2 => dist2_point_segment(p, self.vertices[0], self.vertices[1]) <= EPS,
+            _ => {
+                // CCW polygon: p is inside iff it is on the left of (or on)
+                // every directed edge.
+                for i in 0..self.vertices.len() {
+                    let j = (i + 1) % self.vertices.len();
+                    if cross(self.vertices[i], self.vertices[j], p) < -EPS {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Containment for a raw row (1D rows lifted to the x-axis).
+    pub fn contains_row(&self, row: &[f64]) -> bool {
+        self.contains(Point2::from_slice(row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn unit_square() -> ConvexPolygon {
+        ConvexPolygon::from_points(&[p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)])
+    }
+
+    #[test]
+    fn contains_interior_boundary_exterior() {
+        let sq = unit_square();
+        assert!(sq.contains(p(0.5, 0.5)));
+        assert!(sq.contains(p(0.0, 0.0)), "vertices are inside");
+        assert!(sq.contains(p(0.5, 0.0)), "edges are inside");
+        assert!(!sq.contains(p(1.5, 0.5)));
+        assert!(!sq.contains(p(-0.001, 0.5)));
+    }
+
+    #[test]
+    fn area_of_unit_square_is_one() {
+        assert!((unit_square().area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_point_polygon() {
+        let poly = ConvexPolygon::from_points(&[p(2.0, 3.0)]);
+        assert!(poly.contains(p(2.0, 3.0)));
+        assert!(!poly.contains(p(2.1, 3.0)));
+        assert_eq!(poly.area(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_segment_polygon() {
+        let poly = ConvexPolygon::from_points(&[p(0.0, 0.0), p(2.0, 0.0)]);
+        assert!(poly.contains(p(1.0, 0.0)));
+        assert!(!poly.contains(p(1.0, 0.5)));
+        assert_eq!(poly.area(), 0.0);
+    }
+
+    #[test]
+    fn empty_polygon_contains_nothing() {
+        let poly = ConvexPolygon::from_points(&[]);
+        assert!(poly.is_empty());
+        assert!(!poly.contains(p(0.0, 0.0)));
+    }
+
+    #[test]
+    fn from_rows_lifts_1d() {
+        let poly = ConvexPolygon::from_rows(&[vec![0.0], vec![5.0]]);
+        assert!(poly.contains_row(&[2.5]));
+        assert!(!poly.contains_row(&[6.0]));
+    }
+
+    #[test]
+    fn vertex_centroid_is_mean() {
+        let sq = unit_square();
+        let c = sq.vertex_centroid().unwrap();
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+        assert!(ConvexPolygon::from_points(&[]).vertex_centroid().is_none());
+    }
+}

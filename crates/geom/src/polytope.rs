@@ -1,0 +1,237 @@
+//! Dual-space model geometry for the DSM baseline.
+//!
+//! DSM (Huang et al., PVLDB 2018 — the paper's state-of-the-art baseline)
+//! assumes the user-interest region is *convex* in each subspace and
+//! maintains two certain regions from the labeled examples:
+//!
+//! * the **positive region**: the convex hull of positively labeled points —
+//!   by convexity every point inside is certainly interesting;
+//! * the **negative region**: for each negatively labeled point `q`, the
+//!   convex cone `{ q + t·(q − p) : p ∈ P⁺, t ≥ 0 }` — if any such point
+//!   were interesting, convexity would force `q` itself to be interesting,
+//!   a contradiction, so the cone is certainly uninteresting.
+//!
+//! Everything else is *uncertain* and left to the accompanying classifier.
+//! The fraction of certain positives yields the three-set F1 lower bound
+//! DSM uses for convergence.
+//!
+//! The cone membership test uses the identity: for `q` outside `P⁺`,
+//! `x ∈ cone(q)` ⇔ `q ∈ conv(P⁺ ∪ {x})`, which reduces to one convex-hull
+//! construction and one containment test. 1D subspaces are lifted onto the
+//! x-axis so the same code applies.
+
+use crate::point::Point2;
+use crate::polygon::ConvexPolygon;
+
+/// Certainty label from the dual-space model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreeSetLabel {
+    /// Certainly interesting (inside the positive polytope).
+    Positive,
+    /// Certainly uninteresting (inside a negative cone).
+    Negative,
+    /// Not decided by the polytope model.
+    Uncertain,
+}
+
+/// Incremental dual-space model over one subspace.
+#[derive(Debug, Clone, Default)]
+pub struct DualSpaceModel {
+    positives: Vec<Point2>,
+    negatives: Vec<Point2>,
+    pos_hull: ConvexPolygon,
+}
+
+impl DualSpaceModel {
+    /// Empty model: everything is uncertain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of positive examples absorbed.
+    pub fn n_positives(&self) -> usize {
+        self.positives.len()
+    }
+
+    /// Number of negative examples absorbed.
+    pub fn n_negatives(&self) -> usize {
+        self.negatives.len()
+    }
+
+    /// Absorb a labeled example (row of the subspace; 1D rows are lifted).
+    pub fn add_labeled(&mut self, row: &[f64], interesting: bool) {
+        let p = Point2::from_slice(row);
+        if interesting {
+            self.positives.push(p);
+            self.pos_hull = ConvexPolygon::from_points(&self.positives);
+        } else {
+            self.negatives.push(p);
+        }
+    }
+
+    /// The positive polytope (convex hull of positive examples).
+    pub fn positive_hull(&self) -> &ConvexPolygon {
+        &self.pos_hull
+    }
+
+    /// True when `x` lies in the certain-positive region.
+    pub fn in_positive_region(&self, row: &[f64]) -> bool {
+        !self.pos_hull.is_empty() && self.pos_hull.contains_row(row)
+    }
+
+    /// True when `x` lies in some negative cone.
+    ///
+    /// With no positive examples the cone construction is undefined; DSM
+    /// then treats only the exact negative points as certainly negative.
+    pub fn in_negative_region(&self, row: &[f64]) -> bool {
+        let x = Point2::from_slice(row);
+        if self.positives.is_empty() {
+            return self
+                .negatives
+                .iter()
+                .any(|q| q.dist2(&x) <= crate::polygon::EPS);
+        }
+        // conv(P+ ∪ {x}) is shared across all negatives for this x.
+        let mut pts = self.positives.clone();
+        pts.push(x);
+        let extended = ConvexPolygon::from_points(&pts);
+        self.negatives.iter().any(|q| {
+            // Cones only exist for negatives outside the positive hull
+            // (inside would contradict the convexity assumption).
+            !self.pos_hull.contains(*q) && extended.contains(*q)
+        })
+    }
+
+    /// Three-way classification of a subspace row.
+    pub fn classify(&self, row: &[f64]) -> ThreeSetLabel {
+        if self.in_positive_region(row) {
+            ThreeSetLabel::Positive
+        } else if self.in_negative_region(row) {
+            ThreeSetLabel::Negative
+        } else {
+            ThreeSetLabel::Uncertain
+        }
+    }
+
+    /// Counts of (positive, negative, uncertain) over an evaluation pool.
+    pub fn three_set_counts(&self, rows: &[Vec<f64>]) -> (usize, usize, usize) {
+        let mut counts = (0usize, 0usize, 0usize);
+        for row in rows {
+            match self.classify(row) {
+                ThreeSetLabel::Positive => counts.0 += 1,
+                ThreeSetLabel::Negative => counts.1 += 1,
+                ThreeSetLabel::Uncertain => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// The three-set-metric F1 lower bound `|D⁺| / (|D⁺| + |Dᵘ|)`: the worst
+    /// case where every uncertain point is misclassified (paper §III-B cites
+    /// this as DSM's convergence indicator).
+    pub fn f1_lower_bound(&self, rows: &[Vec<f64>]) -> f64 {
+        let (np, _nn, nu) = self.three_set_counts(rows);
+        if np + nu == 0 {
+            0.0
+        } else {
+            np as f64 / (np + nu) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_with(pos: &[[f64; 2]], neg: &[[f64; 2]]) -> DualSpaceModel {
+        let mut m = DualSpaceModel::new();
+        for p in pos {
+            m.add_labeled(p, true);
+        }
+        for q in neg {
+            m.add_labeled(q, false);
+        }
+        m
+    }
+
+    #[test]
+    fn positive_region_is_hull_of_positives() {
+        let m = model_with(&[[0.0, 0.0], [2.0, 0.0], [1.0, 2.0]], &[]);
+        assert!(m.in_positive_region(&[1.0, 0.5]));
+        assert!(!m.in_positive_region(&[5.0, 5.0]));
+        assert_eq!(m.classify(&[1.0, 0.5]), ThreeSetLabel::Positive);
+        assert_eq!(m.classify(&[5.0, 5.0]), ThreeSetLabel::Uncertain);
+    }
+
+    #[test]
+    fn negative_cone_extends_away_from_hull() {
+        // Positive triangle around the origin; negative at (3, 0).
+        let m = model_with(
+            &[[0.0, 1.0], [0.0, -1.0], [-1.0, 0.0]],
+            &[[3.0, 0.0]],
+        );
+        // Points beyond the negative along the same direction are certainly
+        // negative: the segment from (5,0) to the hull passes through (3,0).
+        assert_eq!(m.classify(&[5.0, 0.0]), ThreeSetLabel::Negative);
+        // A point to the side of the cone stays uncertain.
+        assert_eq!(m.classify(&[3.0, 4.0]), ThreeSetLabel::Uncertain);
+        // The negative point itself is in its own cone (t = 0).
+        assert_eq!(m.classify(&[3.0, 0.0]), ThreeSetLabel::Negative);
+    }
+
+    #[test]
+    fn cone_requires_positive_examples() {
+        let m = model_with(&[], &[[1.0, 1.0]]);
+        assert_eq!(m.classify(&[1.0, 1.0]), ThreeSetLabel::Negative);
+        assert_eq!(m.classify(&[2.0, 2.0]), ThreeSetLabel::Uncertain);
+        assert!(!m.in_positive_region(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn one_dimensional_rows_are_lifted() {
+        let mut m = DualSpaceModel::new();
+        m.add_labeled(&[1.0], true);
+        m.add_labeled(&[3.0], true);
+        m.add_labeled(&[5.0], false);
+        assert_eq!(m.classify(&[2.0]), ThreeSetLabel::Positive);
+        // Beyond the negative, away from the positive interval.
+        assert_eq!(m.classify(&[7.0]), ThreeSetLabel::Negative);
+        // Between hull and negative: uncertain.
+        assert_eq!(m.classify(&[4.0]), ThreeSetLabel::Uncertain);
+    }
+
+    #[test]
+    fn three_set_counts_and_f1_bound() {
+        let m = model_with(
+            &[[0.0, 0.0], [1.0, 0.0], [0.5, 1.0]],
+            &[[3.0, 0.0]],
+        );
+        let rows = vec![
+            vec![0.5, 0.3],  // positive
+            vec![4.0, 0.0],  // negative cone
+            vec![0.0, 5.0],  // uncertain
+            vec![0.5, 0.5],  // positive
+        ];
+        let (np, nn, nu) = m.three_set_counts(&rows);
+        assert_eq!((np, nn, nu), (2, 1, 1));
+        let f1 = m.f1_lower_bound(&rows);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_bound_empty_pool_is_zero() {
+        let m = DualSpaceModel::new();
+        assert_eq!(m.f1_lower_bound(&[]), 0.0);
+    }
+
+    #[test]
+    fn contradictory_negative_inside_hull_is_ignored_for_cones() {
+        // A negative inside the positive hull (non-convex ground truth)
+        // must not poison the whole plane.
+        let m = model_with(
+            &[[0.0, 0.0], [4.0, 0.0], [2.0, 4.0]],
+            &[[2.0, 1.0]],
+        );
+        assert_eq!(m.classify(&[10.0, 10.0]), ThreeSetLabel::Uncertain);
+    }
+}

@@ -1,0 +1,164 @@
+//! Arbitrary-shape regions as unions of convex parts.
+//!
+//! The paper's key representational claim (§V-C) is that any UIS — concave
+//! or even disconnected — can be written as a union of convex parts
+//! (convex decomposition theory). [`Region`] is one convex part;
+//! [`RegionUnion`] is the general UIS: membership is "inside any part".
+
+use crate::aabb::Aabb;
+use crate::polygon::ConvexPolygon;
+
+/// One convex part of a region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Region {
+    /// A closed interval on a 1D subspace.
+    Interval { lo: f64, hi: f64 },
+    /// A convex polygon on a 2D subspace.
+    Polygon(ConvexPolygon),
+    /// An axis-aligned box in arbitrary dimension.
+    Box(Aabb),
+}
+
+impl Region {
+    /// Closed-interval constructor (swaps inverted bounds).
+    pub fn interval(lo: f64, hi: f64) -> Self {
+        if lo <= hi {
+            Region::Interval { lo, hi }
+        } else {
+            Region::Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// Membership test for a raw subspace row.
+    pub fn contains(&self, row: &[f64]) -> bool {
+        match self {
+            Region::Interval { lo, hi } => {
+                row.first().is_some_and(|&v| v >= *lo && v <= *hi)
+            }
+            Region::Polygon(poly) => poly.contains_row(row),
+            Region::Box(b) => row.len() == b.dim() && b.contains(row),
+        }
+    }
+}
+
+/// A union of convex parts — the general UIS shape.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegionUnion {
+    parts: Vec<Region>,
+}
+
+impl RegionUnion {
+    /// Empty union (contains nothing).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Union of the given parts.
+    pub fn new(parts: Vec<Region>) -> Self {
+        Self { parts }
+    }
+
+    /// Add one part.
+    pub fn push(&mut self, part: Region) {
+        self.parts.push(part);
+    }
+
+    /// The convex parts.
+    pub fn parts(&self) -> &[Region] {
+        &self.parts
+    }
+
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when the union has no parts.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Membership: inside any part. Cost O(α · log ψ) as analysed in §V-C
+    /// (α parts, each a hull of ψ points).
+    pub fn contains(&self, row: &[f64]) -> bool {
+        self.parts.iter().any(|p| p.contains(row))
+    }
+
+    /// Fraction of `rows` inside the union — the region's selectivity on a
+    /// sample. Used to reject degenerate simulated UISs.
+    pub fn selectivity(&self, rows: &[Vec<f64>]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let hits = rows.iter().filter(|r| self.contains(r)).count();
+        hits as f64 / rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point2;
+
+    fn square(x0: f64, y0: f64, x1: f64, y1: f64) -> Region {
+        Region::Polygon(ConvexPolygon::from_points(&[
+            Point2::new(x0, y0),
+            Point2::new(x1, y0),
+            Point2::new(x1, y1),
+            Point2::new(x0, y1),
+        ]))
+    }
+
+    #[test]
+    fn interval_contains() {
+        let r = Region::interval(2.0, 5.0);
+        assert!(r.contains(&[2.0]));
+        assert!(r.contains(&[5.0]));
+        assert!(!r.contains(&[5.5]));
+        assert!(!r.contains(&[]));
+        // Inverted bounds are normalized.
+        let r = Region::interval(5.0, 2.0);
+        assert!(r.contains(&[3.0]));
+    }
+
+    #[test]
+    fn box_region_checks_dim() {
+        let r = Region::Box(Aabb::new(vec![0.0, 0.0], vec![1.0, 1.0]));
+        assert!(r.contains(&[0.5, 0.5]));
+        assert!(!r.contains(&[0.5]), "dimension mismatch is not a member");
+    }
+
+    #[test]
+    fn union_of_disconnected_squares() {
+        // A disconnected UIS: two far-apart squares (paper Fig. 1, R2).
+        let uis = RegionUnion::new(vec![square(0.0, 0.0, 1.0, 1.0), square(5.0, 5.0, 6.0, 6.0)]);
+        assert!(uis.contains(&[0.5, 0.5]));
+        assert!(uis.contains(&[5.5, 5.5]));
+        assert!(!uis.contains(&[3.0, 3.0]), "gap between parts is outside");
+        assert_eq!(uis.len(), 2);
+    }
+
+    #[test]
+    fn union_can_express_concave_shapes() {
+        // An L-shape (concave) as the union of two convex rectangles.
+        let uis = RegionUnion::new(vec![square(0.0, 0.0, 2.0, 1.0), square(0.0, 0.0, 1.0, 2.0)]);
+        assert!(uis.contains(&[1.8, 0.5]));
+        assert!(uis.contains(&[0.5, 1.8]));
+        assert!(!uis.contains(&[1.8, 1.8]), "concave notch is outside");
+    }
+
+    #[test]
+    fn empty_union_contains_nothing() {
+        let uis = RegionUnion::empty();
+        assert!(uis.is_empty());
+        assert!(!uis.contains(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn selectivity_counts_members() {
+        let uis = RegionUnion::new(vec![square(0.0, 0.0, 1.0, 1.0)]);
+        let rows = vec![vec![0.5, 0.5], vec![2.0, 2.0], vec![0.1, 0.9], vec![9.0, 9.0]];
+        assert_eq!(uis.selectivity(&rows), 0.5);
+        assert_eq!(uis.selectivity(&[]), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the geometry substrate: invariants that must
+//! hold for *any* point configuration, not just hand-picked ones.
+
+use lte_geom::hull::interval_hull;
+use lte_geom::point::{cross, dist2_point_segment};
+use lte_geom::polytope::{DualSpaceModel, ThreeSetLabel};
+use lte_geom::{convex_hull, Aabb, ConvexPolygon, Point2, Region, RegionUnion};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point2> {
+    (-100.0..100.0f64, -100.0..100.0f64).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point2>> {
+    proptest::collection::vec(arb_point(), 1..max)
+}
+
+proptest! {
+    /// Every input point lies inside (or on) its convex hull.
+    #[test]
+    fn hull_contains_inputs(pts in arb_points(40)) {
+        let poly = ConvexPolygon::from_points(&pts);
+        for p in &pts {
+            prop_assert!(poly.contains(*p), "point {p:?} escaped its hull");
+        }
+    }
+
+    /// The hull of hull vertices is the hull itself (idempotence).
+    #[test]
+    fn hull_is_idempotent(pts in arb_points(40)) {
+        let h1 = convex_hull(&pts);
+        let h2 = convex_hull(&h1);
+        let poly1 = ConvexPolygon::from_points(&pts);
+        let poly2 = ConvexPolygon::from_points(&h2);
+        prop_assert_eq!(h1.len(), h2.len());
+        // Same membership behaviour on a probe grid.
+        for gx in -3..4 {
+            for gy in -3..4 {
+                let q = Point2::new(gx as f64 * 30.0, gy as f64 * 30.0);
+                prop_assert_eq!(poly1.contains(q), poly2.contains(q));
+            }
+        }
+    }
+
+    /// Hull vertices are in convex position: every vertex is on the hull
+    /// boundary, i.e. removing it shrinks membership or keeps it equal,
+    /// never grows it.
+    #[test]
+    fn hull_vertices_are_extreme(pts in arb_points(30)) {
+        let h = convex_hull(&pts);
+        if h.len() >= 3 {
+            // CCW orientation: all consecutive turns are non-right.
+            for i in 0..h.len() {
+                let a = h[i];
+                let b = h[(i + 1) % h.len()];
+                let c = h[(i + 2) % h.len()];
+                prop_assert!(cross(a, b, c) >= 0.0, "clockwise turn in hull");
+            }
+        }
+    }
+
+    /// Interval hull spans exactly [min, max].
+    #[test]
+    fn interval_hull_is_min_max(values in proptest::collection::vec(-1e6..1e6f64, 1..50)) {
+        let (lo, hi) = interval_hull(&values).expect("non-empty");
+        for v in &values {
+            prop_assert!(*v >= lo && *v <= hi);
+        }
+        prop_assert!(values.contains(&lo) && values.contains(&hi));
+    }
+
+    /// A union of regions contains everything its parts contain.
+    #[test]
+    fn union_is_superset_of_parts(pts_a in arb_points(15), pts_b in arb_points(15), probe in arb_point()) {
+        let part_a = Region::Polygon(ConvexPolygon::from_points(&pts_a));
+        let part_b = Region::Polygon(ConvexPolygon::from_points(&pts_b));
+        let union = RegionUnion::new(vec![part_a.clone(), part_b.clone()]);
+        let row = [probe.x, probe.y];
+        prop_assert_eq!(
+            union.contains(&row),
+            part_a.contains(&row) || part_b.contains(&row)
+        );
+    }
+
+    /// Aabb::from_rows encloses all inputs and inflation is monotone.
+    #[test]
+    fn aabb_encloses_and_inflates(rows in proptest::collection::vec(
+        proptest::collection::vec(-50.0..50.0f64, 3), 1..20), margin in 0.0..10.0f64) {
+        let b = Aabb::from_rows(&rows).expect("non-empty");
+        for r in &rows {
+            prop_assert!(b.contains(r));
+        }
+        let big = b.inflate(margin);
+        for r in &rows {
+            prop_assert!(big.contains(r));
+        }
+        prop_assert!(big.volume() >= b.volume());
+    }
+
+    /// Dual-space soundness: the positive polytope never contains a point
+    /// classified negative, and certain labels are mutually exclusive.
+    #[test]
+    fn dual_space_labels_are_exclusive(
+        pos in arb_points(10),
+        neg in arb_points(10),
+        probe in arb_point(),
+    ) {
+        let mut model = DualSpaceModel::new();
+        for p in &pos {
+            model.add_labeled(&[p.x, p.y], true);
+        }
+        for q in &neg {
+            model.add_labeled(&[q.x, q.y], false);
+        }
+        let row = [probe.x, probe.y];
+        let label = model.classify(&row);
+        match label {
+            ThreeSetLabel::Positive => prop_assert!(model.in_positive_region(&row)),
+            ThreeSetLabel::Negative => prop_assert!(!model.in_positive_region(&row)),
+            ThreeSetLabel::Uncertain => {
+                prop_assert!(!model.in_positive_region(&row));
+                prop_assert!(!model.in_negative_region(&row));
+            }
+        }
+    }
+
+    /// Distance to a segment is zero exactly on the segment and symmetric in
+    /// the endpoints.
+    #[test]
+    fn segment_distance_symmetry(a in arb_point(), b in arb_point(), p in arb_point()) {
+        let d1 = dist2_point_segment(p, a, b);
+        let d2 = dist2_point_segment(p, b, a);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!(dist2_point_segment(a, a, b) < 1e-18);
+    }
+}

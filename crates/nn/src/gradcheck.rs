@@ -1,0 +1,81 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Meta-learning is unforgiving of gradient bugs: a subtly wrong backward
+//! pass still "trains" but converges to mush, which would silently destroy
+//! the paper's Meta-vs-Basic comparison. These helpers verify [`Mlp`]
+//! gradients against central finite differences and are used by the test
+//! suites of this crate and `lte-core`.
+
+use crate::mlp::Mlp;
+
+/// Scalar probe loss: sum of network outputs.
+fn probe_loss(mlp: &Mlp, x: &[f64]) -> f64 {
+    mlp.forward(x).iter().sum()
+}
+
+/// Maximum absolute error between analytic and numeric parameter gradients
+/// for the probe loss `L = Σ outputs` at input `x`.
+///
+/// Use smooth activations (Tanh/Sigmoid/Identity); ReLU kinks make central
+/// differences unreliable near zero pre-activations.
+pub fn max_param_grad_error(mlp: &Mlp, x: &[f64]) -> f64 {
+    let cache = mlp.forward_cache(x);
+    let ones = vec![1.0; mlp.out_dim()];
+    let mut grad = vec![0.0; mlp.param_count()];
+    mlp.backward(&cache, &ones, &mut grad);
+
+    let h = 1e-6;
+    let flat = mlp.params();
+    let mut worst = 0.0f64;
+    let mut scratch = mlp.clone();
+    for i in 0..flat.len() {
+        let mut fp = flat.clone();
+        fp[i] += h;
+        scratch.read_params(&fp);
+        let lp = probe_loss(&scratch, x);
+        let mut fm = flat.clone();
+        fm[i] -= h;
+        scratch.read_params(&fm);
+        let lm = probe_loss(&scratch, x);
+        let numeric = (lp - lm) / (2.0 * h);
+        worst = worst.max((numeric - grad[i]).abs());
+    }
+    worst
+}
+
+/// Maximum absolute error between analytic and numeric *input* gradients for
+/// the probe loss at input `x`.
+pub fn max_input_grad_error(mlp: &Mlp, x: &[f64]) -> f64 {
+    let cache = mlp.forward_cache(x);
+    let ones = vec![1.0; mlp.out_dim()];
+    let mut grad = vec![0.0; mlp.param_count()];
+    let dx = mlp.backward(&cache, &ones, &mut grad);
+
+    let h = 1e-6;
+    let mut worst = 0.0f64;
+    for i in 0..x.len() {
+        let mut xp = x.to_vec();
+        xp[i] += h;
+        let mut xm = x.to_vec();
+        xm[i] -= h;
+        let numeric = (probe_loss(mlp, &xp) - probe_loss(mlp, &xm)) / (2.0 * h);
+        worst = worst.max((numeric - dx[i]).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gradcheck_detects_correct_gradients() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&[2, 4, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        assert!(max_param_grad_error(&mlp, &[0.3, -0.6]) < 1e-5);
+        assert!(max_input_grad_error(&mlp, &[0.3, -0.6]) < 1e-5);
+    }
+}

@@ -1,0 +1,43 @@
+//! Weight initialization.
+
+use rand::{Rng, RngExt};
+
+/// Uniform sample in `[-a, a]`.
+pub fn uniform_sym<R: Rng + ?Sized>(rng: &mut R, a: f64) -> f64 {
+    (rng.random::<f64>() * 2.0 - 1.0) * a
+}
+
+/// He (Kaiming) uniform bound for ReLU layers: `sqrt(6 / fan_in)`.
+pub fn he_bound(fan_in: usize) -> f64 {
+    (6.0 / fan_in.max(1) as f64).sqrt()
+}
+
+/// Xavier (Glorot) uniform bound: `sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_bound(fan_in: usize, fan_out: usize) -> f64 {
+    (6.0 / (fan_in + fan_out).max(1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_sym_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let v = uniform_sym(&mut rng, 0.3);
+            assert!((-0.3..=0.3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bounds_shrink_with_fan() {
+        assert!(he_bound(100) < he_bound(10));
+        assert!(xavier_bound(100, 100) < xavier_bound(10, 10));
+        // Guard against zero fan.
+        assert!(he_bound(0).is_finite());
+        assert!(xavier_bound(0, 0).is_finite());
+    }
+}

@@ -1,0 +1,90 @@
+//! Loss functions for the binary UIS classification objective.
+//!
+//! The classifier predicts whether a tuple lies inside the UIS (label 1) or
+//! not (label 0); local and global meta-updates both minimize this
+//! classification loss (Eqs. 12–13). We compute binary cross-entropy on the
+//! *logit* via the log-sum-exp form, which is stable for large |logit|.
+
+use crate::activation::sigmoid;
+
+/// Binary cross-entropy on a logit. Returns `(loss, dloss/dlogit)`.
+///
+/// `target` must be 0.0 or 1.0.
+pub fn bce_with_logits(logit: f64, target: f64) -> (f64, f64) {
+    debug_assert!(target == 0.0 || target == 1.0, "target must be binary");
+    // loss = max(z, 0) - z*y + ln(1 + e^{-|z|})  (the standard stable form)
+    let loss = logit.max(0.0) - logit * target + (-logit.abs()).exp().ln_1p();
+    let grad = sigmoid(logit) - target;
+    (loss, grad)
+}
+
+/// Mean squared error. Returns `(loss, dloss/dpred)`.
+pub fn mse(pred: f64, target: f64) -> (f64, f64) {
+    let d = pred - target;
+    (d * d, 2.0 * d)
+}
+
+/// Average BCE loss of a batch of logits.
+pub fn mean_bce(logits: &[f64], targets: &[f64]) -> f64 {
+    debug_assert_eq!(logits.len(), targets.len());
+    if logits.is_empty() {
+        return 0.0;
+    }
+    logits
+        .iter()
+        .zip(targets)
+        .map(|(&z, &y)| bce_with_logits(z, y).0)
+        .sum::<f64>()
+        / logits.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_at_zero_logit_is_ln2() {
+        let (l0, _) = bce_with_logits(0.0, 0.0);
+        let (l1, _) = bce_with_logits(0.0, 1.0);
+        assert!((l0 - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((l1 - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_is_stable_for_extreme_logits() {
+        let (l, g) = bce_with_logits(1e4, 1.0);
+        assert!(l.abs() < 1e-12, "confident correct prediction ≈ 0 loss");
+        assert!(g.abs() < 1e-12);
+        let (l, g) = bce_with_logits(-1e4, 1.0);
+        assert!(l > 1e3, "confident wrong prediction has huge loss");
+        assert!((g + 1.0).abs() < 1e-12);
+        assert!(!l.is_nan() && !g.is_nan());
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_differences() {
+        let h = 1e-6;
+        for &z in &[-3.0, -0.5, 0.0, 0.5, 3.0] {
+            for &y in &[0.0, 1.0] {
+                let (_, g) = bce_with_logits(z, y);
+                let numeric = (bce_with_logits(z + h, y).0 - bce_with_logits(z - h, y).0) / (2.0 * h);
+                assert!((g - numeric).abs() < 1e-6, "z={z} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn mse_and_gradient() {
+        let (l, g) = mse(3.0, 1.0);
+        assert_eq!(l, 4.0);
+        assert_eq!(g, 4.0);
+    }
+
+    #[test]
+    fn mean_bce_averages() {
+        let logits = [10.0, -10.0];
+        let targets = [1.0, 0.0];
+        assert!(mean_bce(&logits, &targets) < 1e-4);
+        assert_eq!(mean_bce(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Multi-layer perceptrons with flat-parameter access.
+//!
+//! Every block of the LTE classifier (UIS-feature embedding `f_θR`, tuple
+//! embedding `f_θτ`, classification `f_θclf`; §VI-A) is an [`Mlp`]. The
+//! meta-learner manipulates block parameters as flat vectors:
+//! `|θR|`-length slices are stored per-row in the UIS-feature memory `MR`
+//! (Eq. 8) and blended into initializations (Eq. 6), so [`Mlp::write_params`]
+//! / [`Mlp::read_params`] define a stable flat layout (per layer: weights
+//! row-major, then biases).
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use rand::Rng;
+
+/// A sequential stack of dense layers with per-layer activations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    acts: Vec<Activation>,
+}
+
+/// Cached intermediate state of one forward pass, needed for backprop.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    /// Input to each layer (`inputs[0]` is the network input).
+    inputs: Vec<Vec<f64>>,
+    /// Pre-activation output of each layer.
+    pre_acts: Vec<Vec<f64>>,
+    /// Final output (post-activation of the last layer).
+    output: Vec<f64>,
+}
+
+impl MlpCache {
+    /// The forward output this cache corresponds to.
+    pub fn output(&self) -> &[f64] {
+        &self.output
+    }
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer dimensions and hidden activation.
+    ///
+    /// `dims = [in, h1, ..., out]` produces `dims.len() - 1` layers; all but
+    /// the last use `hidden_act`, the last uses `out_act`. Weights are
+    /// He-uniform initialized.
+    ///
+    /// # Panics
+    /// Panics when `dims` has fewer than two entries.
+    pub fn new<R: Rng + ?Sized>(
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least one layer");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        let mut acts = Vec::with_capacity(dims.len() - 1);
+        for w in dims.windows(2) {
+            layers.push(Dense::he_init(w[0], w[1], rng));
+        }
+        for i in 0..layers.len() {
+            acts.push(if i + 1 == layers.len() {
+                out_act
+            } else {
+                hidden_act
+            });
+        }
+        Self { layers, acts }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Copy all parameters into a flat vector.
+    pub fn params(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.param_count()];
+        self.write_params(&mut out);
+        out
+    }
+
+    /// Copy all parameters into a flat slice.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != param_count()`.
+    pub fn write_params(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.param_count(), "flat size mismatch");
+        let mut off = 0;
+        for layer in &self.layers {
+            let n = layer.param_count();
+            layer.write_params(&mut out[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Load all parameters from a flat slice.
+    ///
+    /// # Panics
+    /// Panics when `src.len() != param_count()`.
+    pub fn read_params(&mut self, src: &[f64]) {
+        assert_eq!(src.len(), self.param_count(), "flat size mismatch");
+        let mut off = 0;
+        for layer in &mut self.layers {
+            let n = layer.param_count();
+            layer.read_params(&src[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Plain forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        for (layer, act) in self.layers.iter().zip(&self.acts) {
+            let mut z = layer.forward(&cur);
+            act.apply_slice(&mut z);
+            cur = z;
+        }
+        cur
+    }
+
+    /// Forward pass retaining the per-layer state needed by
+    /// [`Mlp::backward`].
+    pub fn forward_cache(&self, x: &[f64]) -> MlpCache {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pre_acts = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        for (layer, act) in self.layers.iter().zip(&self.acts) {
+            inputs.push(cur.clone());
+            let z = layer.forward(&cur);
+            pre_acts.push(z.clone());
+            let mut a = z;
+            act.apply_slice(&mut a);
+            cur = a;
+        }
+        MlpCache {
+            inputs,
+            pre_acts,
+            output: cur,
+        }
+    }
+
+    /// Backward pass. `grad_out` is `dL/d(output)`; gradients are
+    /// *accumulated* into `grad` (flat layout, same as [`Mlp::write_params`])
+    /// and `dL/d(input)` is returned.
+    ///
+    /// # Panics
+    /// Panics when `grad.len() != param_count()`.
+    pub fn backward(&self, cache: &MlpCache, grad_out: &[f64], grad: &mut [f64]) -> Vec<f64> {
+        assert_eq!(grad.len(), self.param_count(), "flat size mismatch");
+        // Per-layer flat offsets.
+        let mut offsets = Vec::with_capacity(self.layers.len());
+        let mut off = 0;
+        for layer in &self.layers {
+            offsets.push(off);
+            off += layer.param_count();
+        }
+
+        let mut dcur = grad_out.to_vec();
+        for i in (0..self.layers.len()).rev() {
+            // Through the activation: dz = da * act'(z).
+            let act = self.acts[i];
+            let pre = &cache.pre_acts[i];
+            let mut dz = dcur;
+            for (d, &z) in dz.iter_mut().zip(pre) {
+                *d *= act.derivative(z);
+            }
+            let layer = &self.layers[i];
+            let n = layer.param_count();
+            let g = &mut grad[offsets[i]..offsets[i] + n];
+            dcur = layer.backward(&cache.inputs[i], &dz, g);
+        }
+        dcur
+    }
+
+    /// In-place SGD step: `params -= lr · grad`.
+    pub fn sgd_step(&mut self, grad: &[f64], lr: f64) {
+        let mut flat = self.params();
+        for (p, g) in flat.iter_mut().zip(grad) {
+            *p -= lr * g;
+        }
+        self.read_params(&flat);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&[4, 8, 2], Activation::Relu, Activation::Identity, &mut rng);
+        assert_eq!(mlp.in_dim(), 4);
+        assert_eq!(mlp.out_dim(), 2);
+        assert_eq!(mlp.n_layers(), 2);
+        assert_eq!(mlp.param_count(), (4 * 8 + 8) + (8 * 2 + 2));
+        assert_eq!(mlp.forward(&[0.1, 0.2, 0.3, 0.4]).len(), 2);
+    }
+
+    #[test]
+    fn param_round_trip_preserves_behavior() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&[3, 5, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let flat = mlp.params();
+        let mut other = Mlp::new(&[3, 5, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        other.read_params(&flat);
+        let x = [0.5, -0.5, 0.25];
+        assert_eq!(mlp.forward(&x), other.forward(&x));
+    }
+
+    #[test]
+    fn forward_cache_output_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(&[2, 4, 3], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let x = [0.3, -1.2];
+        assert_eq!(mlp.forward(&x), mlp.forward_cache(&x).output());
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        // Smooth activations only: ReLU kinks break finite differences.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&[3, 6, 4, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = [0.7, -0.2, 0.4];
+        let max_err = gradcheck::max_param_grad_error(&mlp, &x);
+        assert!(max_err < 1e-5, "max grad error {max_err}");
+    }
+
+    #[test]
+    fn backward_input_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mlp = Mlp::new(&[3, 5, 1], Activation::Sigmoid, Activation::Identity, &mut rng);
+        let x = [0.1, 0.9, -0.4];
+        let err = gradcheck::max_input_grad_error(&mlp, &x);
+        assert!(err < 1e-5, "max input grad error {err}");
+    }
+
+    #[test]
+    fn sgd_step_reduces_simple_loss() {
+        // Minimize ||f(x)||² for a fixed input: loss must go down.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mlp = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = [0.5, -0.25];
+        let loss = |m: &Mlp| -> f64 { m.forward(&x)[0].powi(2) };
+        let before = loss(&mlp);
+        for _ in 0..50 {
+            let cache = mlp.forward_cache(&x);
+            let dout = vec![2.0 * cache.output()[0]];
+            let mut grad = vec![0.0; mlp.param_count()];
+            mlp.backward(&cache, &dout, &mut grad);
+            mlp.sgd_step(&grad, 0.1);
+        }
+        let after = loss(&mlp);
+        assert!(after < before * 0.1, "before {before}, after {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn single_dim_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        Mlp::new(&[3], Activation::Relu, Activation::Identity, &mut rng);
+    }
+}

@@ -1,0 +1,129 @@
+//! First-order optimizers over flat parameter vectors.
+//!
+//! Local task adaptation uses plain SGD with learning rate ρ (Eq. 12); the
+//! global meta-update is a single aggregated SGD step with learning rate λ
+//! (Eq. 13). Adam is provided for the `Basic` (non-meta) classifier variant
+//! and ablations.
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Sgd {
+    /// Create an SGD optimizer.
+    pub fn new(lr: f64) -> Self {
+        Self { lr }
+    }
+
+    /// `params -= lr * grads`.
+    pub fn step(&self, params: &mut [f64], grads: &[f64]) {
+        debug_assert_eq!(params.len(), grads.len());
+        for (p, g) in params.iter_mut().zip(grads) {
+            *p -= self.lr * g;
+        }
+    }
+}
+
+/// Adam optimizer with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical stabilizer.
+    pub eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the standard (0.9, 0.999) moment decays.
+    pub fn new(lr: f64, dim: usize) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+            t: 0,
+        }
+    }
+
+    /// One Adam update step.
+    ///
+    /// # Panics
+    /// Panics when the dimension differs from construction.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "dimension mismatch");
+        assert_eq!(params.len(), grads.len(), "dimension mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f(x, y) = (x-3)² + (y+1)²; gradient (2(x-3), 2(y+1)).
+    fn quad_grad(p: &[f64]) -> Vec<f64> {
+        vec![2.0 * (p[0] - 3.0), 2.0 * (p[1] + 1.0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let opt = Sgd::new(0.1);
+        let mut p = vec![0.0, 0.0];
+        for _ in 0..100 {
+            let g = quad_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-4);
+        assert!((p[1] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.2, 2);
+        let mut p = vec![0.0, 0.0];
+        for _ in 0..300 {
+            let g = quad_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-2, "{p:?}");
+        assert!((p[1] + 1.0).abs() < 1e-2, "{p:?}");
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction the very first Adam step ≈ lr in each coord.
+        let mut opt = Adam::new(0.1, 1);
+        let mut p = vec![0.0];
+        opt.step(&mut p, &[123.0]);
+        assert!((p[0] + 0.1).abs() < 1e-6, "{p:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn adam_checks_dimensions() {
+        let mut opt = Adam::new(0.1, 2);
+        let mut p = vec![0.0];
+        opt.step(&mut p, &[1.0]);
+    }
+}

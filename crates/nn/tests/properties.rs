@@ -1,0 +1,89 @@
+//! Property-based tests for the neural substrate: backprop correctness on
+//! random architectures and parameter-vector round-trips.
+
+use lte_nn::activation::sigmoid;
+use lte_nn::loss::bce_with_logits;
+use lte_nn::matrix::{cosine, softmax_inplace};
+use lte_nn::{gradcheck, Activation, Matrix, Mlp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_dims() -> impl Strategy<Value = Vec<usize>> {
+    // Random small architecture: 2–4 layers, widths 1–8.
+    proptest::collection::vec(1usize..8, 3..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Analytic gradients match finite differences on arbitrary (smooth)
+    /// architectures and inputs — the bedrock of all meta-learning here.
+    #[test]
+    fn gradients_match_finite_differences(dims in arb_dims(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&dims, Activation::Tanh, Activation::Identity, &mut rng);
+        let x: Vec<f64> = (0..dims[0]).map(|i| ((i as f64) * 0.37).sin()).collect();
+        prop_assert!(gradcheck::max_param_grad_error(&mlp, &x) < 1e-4);
+        prop_assert!(gradcheck::max_input_grad_error(&mlp, &x) < 1e-4);
+    }
+
+    /// Parameter round-trips preserve network behaviour exactly.
+    #[test]
+    fn param_round_trip_is_identity(dims in arb_dims(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&dims, Activation::Relu, Activation::Sigmoid, &mut rng);
+        let flat = mlp.params();
+        let mut clone = Mlp::new(&dims, Activation::Relu, Activation::Sigmoid, &mut rng);
+        clone.read_params(&flat);
+        let x: Vec<f64> = (0..dims[0]).map(|i| (i as f64) * 0.1).collect();
+        prop_assert_eq!(mlp.forward(&x), clone.forward(&x));
+    }
+
+    /// Softmax output is a probability distribution for any finite input.
+    #[test]
+    fn softmax_is_distribution(xs in proptest::collection::vec(-500.0..500.0f64, 1..16)) {
+        let mut v = xs;
+        softmax_inplace(&mut v);
+        let sum: f64 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(v.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// Cosine similarity is bounded and symmetric.
+    #[test]
+    fn cosine_bounded_symmetric(
+        a in proptest::collection::vec(-10.0..10.0f64, 4),
+        b in proptest::collection::vec(-10.0..10.0f64, 4),
+    ) {
+        let c1 = cosine(&a, &b);
+        let c2 = cosine(&b, &a);
+        prop_assert!((c1 - c2).abs() < 1e-12);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c1));
+    }
+
+    /// BCE is non-negative, zero only for confident correct predictions,
+    /// and its gradient is sigmoid(z) − y.
+    #[test]
+    fn bce_properties(z in -50.0..50.0f64, y in prop::bool::ANY) {
+        let target = if y { 1.0 } else { 0.0 };
+        let (loss, grad) = bce_with_logits(z, target);
+        prop_assert!(loss >= 0.0);
+        prop_assert!((grad - (sigmoid(z) - target)).abs() < 1e-12);
+    }
+
+    /// Matrix matvec_t is the adjoint of matvec: ⟨Ax, y⟩ = ⟨x, Aᵀy⟩.
+    #[test]
+    fn matvec_adjoint_identity(
+        data in proptest::collection::vec(-5.0..5.0f64, 12),
+        x in proptest::collection::vec(-5.0..5.0f64, 4),
+        y in proptest::collection::vec(-5.0..5.0f64, 3),
+    ) {
+        let a = Matrix::from_vec(3, 4, data);
+        let ax = a.matvec(&x);
+        let aty = a.matvec_t(&y);
+        let lhs: f64 = ax.iter().zip(&y).map(|(p, q)| p * q).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9, "adjoint identity violated");
+    }
+}

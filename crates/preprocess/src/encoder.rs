@@ -1,0 +1,302 @@
+//! Algorithm 3: tuple → composite feature vector.
+//!
+//! Each attribute value `τj` becomes `one-hot(mode) ⊕ [norm]` where the
+//! one-hot names the GMM component / JKC interval the value belongs to and
+//! `norm` is the value's position normalized within that mode. Per-tuple
+//! vectors concatenate all attribute encodings; their total width is the
+//! classifier's tuple-input dimension `Nr` (§VI-A).
+
+use crate::gmm::Gmm;
+use crate::jenks::JenksBreaks;
+use crate::modality::{probe_modality, Modality};
+use lte_data::schema::Attribute;
+use lte_data::table::Table;
+use rand::Rng;
+
+/// Which mode model to fit per attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncoderKind {
+    /// Probe each attribute and pick GMM (peaked) or JKC (smooth) — the
+    /// paper's combined "Basic" representation.
+    #[default]
+    Auto,
+    /// Force GMM on every attribute (Fig. 8(a) ablation arm).
+    AllGmm,
+    /// Force JKC on every attribute (Fig. 8(a) ablation arm).
+    AllJkc,
+    /// Plain min-max normalization — the representation the paper shows
+    /// "can hardly be trained" (Fig. 8(a) discussion).
+    MinMax,
+}
+
+/// Encoder configuration.
+#[derive(Debug, Clone)]
+pub struct EncoderConfig {
+    /// Mode-model selection policy.
+    pub kind: EncoderKind,
+    /// GMM component count `|g|`.
+    pub n_components: usize,
+    /// JKC interval count `|b|`.
+    pub n_intervals: usize,
+    /// Fitting-sample fraction (paper caps at 1%).
+    pub sample_fraction: f64,
+    /// Minimum fitting-sample rows (so small tables stay fittable).
+    pub min_sample: usize,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self {
+            kind: EncoderKind::Auto,
+            n_components: 5,
+            n_intervals: 5,
+            sample_fraction: 0.01,
+            min_sample: 500,
+        }
+    }
+}
+
+/// A fitted per-attribute encoder.
+#[derive(Debug, Clone)]
+pub enum AttributeEncoder {
+    /// Peaked attribute → Gaussian mixture modes.
+    Gmm(Gmm),
+    /// Smooth attribute → Jenks natural-breaks intervals.
+    Jenks(JenksBreaks),
+    /// Raw min-max over the attribute domain.
+    MinMax(Attribute),
+}
+
+impl AttributeEncoder {
+    /// Output width of this encoder (one-hot + 1, or 1 for min-max).
+    pub fn width(&self) -> usize {
+        match self {
+            AttributeEncoder::Gmm(g) => g.k() + 1,
+            AttributeEncoder::Jenks(j) => j.k() + 1,
+            AttributeEncoder::MinMax(_) => 1,
+        }
+    }
+
+    /// Append the encoding of `value` to `out`.
+    pub fn encode_into(&self, value: f64, out: &mut Vec<f64>) {
+        match self {
+            AttributeEncoder::Gmm(g) => {
+                let k = g.predict_component(value);
+                let base = out.len();
+                out.resize(base + g.k(), 0.0);
+                out[base + k] = 1.0;
+                out.push(g.normalize_in_component(value, k));
+            }
+            AttributeEncoder::Jenks(j) => {
+                let i = j.predict_interval(value);
+                let base = out.len();
+                out.resize(base + j.k(), 0.0);
+                out[base + i] = 1.0;
+                out.push(j.normalize_in_interval(value, i));
+            }
+            AttributeEncoder::MinMax(attr) => {
+                out.push(attr.normalize(value));
+            }
+        }
+    }
+
+    /// True when this encoder is a GMM.
+    pub fn is_gmm(&self) -> bool {
+        matches!(self, AttributeEncoder::Gmm(_))
+    }
+}
+
+/// Fitted encoders for every attribute of a table.
+#[derive(Debug, Clone)]
+pub struct TableEncoder {
+    encoders: Vec<AttributeEncoder>,
+    width: usize,
+}
+
+impl TableEncoder {
+    /// Fit encoders on a random sample of `table` (one encoder per column).
+    pub fn fit<R: Rng + ?Sized>(table: &Table, config: &EncoderConfig, rng: &mut R) -> Self {
+        let sample = table.sample_fraction(rng, config.sample_fraction, config.min_sample);
+        Self::fit_exact(&sample, config)
+    }
+
+    /// Fit encoders on the given table directly (no sampling).
+    pub fn fit_exact(sample: &Table, config: &EncoderConfig) -> Self {
+        let mut encoders = Vec::with_capacity(sample.n_cols());
+        for c in 0..sample.n_cols() {
+            let values = sample.column(c).expect("column in range");
+            let attr = sample.schema().attr(c).expect("attr in range").clone();
+            let enc = match config.kind {
+                EncoderKind::MinMax => AttributeEncoder::MinMax(attr),
+                EncoderKind::AllGmm => {
+                    AttributeEncoder::Gmm(Gmm::fit(values, config.n_components))
+                }
+                EncoderKind::AllJkc => {
+                    AttributeEncoder::Jenks(JenksBreaks::fit(values, config.n_intervals))
+                }
+                EncoderKind::Auto => match probe_modality(values) {
+                    Modality::Peaked => {
+                        AttributeEncoder::Gmm(Gmm::fit(values, config.n_components))
+                    }
+                    Modality::Smooth => {
+                        AttributeEncoder::Jenks(JenksBreaks::fit(values, config.n_intervals))
+                    }
+                },
+            };
+            encoders.push(enc);
+        }
+        let width = encoders.iter().map(AttributeEncoder::width).sum();
+        Self { encoders, width }
+    }
+
+    /// Reconstruct from previously fitted per-attribute encoders (model
+    /// persistence).
+    pub fn from_encoders(encoders: Vec<AttributeEncoder>) -> Self {
+        let width = encoders.iter().map(AttributeEncoder::width).sum();
+        Self { encoders, width }
+    }
+
+    /// Per-attribute encoders.
+    pub fn encoders(&self) -> &[AttributeEncoder] {
+        &self.encoders
+    }
+
+    /// Total encoded width `Nr` (the classifier's tuple-input dimension).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Encode one row into a fresh vector.
+    ///
+    /// # Panics
+    /// Panics when `row.len()` differs from the fitted column count.
+    pub fn encode_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.encoders.len(), "row width mismatch");
+        let mut out = Vec::with_capacity(self.width);
+        for (enc, &v) in self.encoders.iter().zip(row) {
+            enc.encode_into(v, &mut out);
+        }
+        out
+    }
+
+    /// Encode many rows.
+    pub fn encode_rows(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.encode_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lte_data::generator::{generate_car, generate_sdss};
+    use lte_data::rng::seeded;
+    use lte_data::schema::Schema;
+
+    fn tiny_table() -> Table {
+        // Column 0: bimodal; column 1: linear trend.
+        let mut c0 = Vec::new();
+        let mut c1 = Vec::new();
+        for i in 0..400 {
+            let jitter = ((i * 31) % 100) as f64 / 100.0 - 0.5;
+            c0.push(if i % 2 == 0 { jitter } else { 10.0 + jitter });
+            c1.push(i as f64 * 0.1);
+        }
+        let schema = Schema::new(vec![
+            Attribute::new("bimodal", -1.0, 11.0),
+            Attribute::new("trend", 0.0, 40.0),
+        ]);
+        Table::new(schema, vec![c0, c1]).unwrap()
+    }
+
+    #[test]
+    fn auto_mode_selects_gmm_for_peaked_jkc_for_smooth() {
+        let t = tiny_table();
+        let enc = TableEncoder::fit_exact(&t, &EncoderConfig::default());
+        assert!(enc.encoders()[0].is_gmm(), "bimodal column should use GMM");
+        assert!(!enc.encoders()[1].is_gmm(), "trend column should use JKC");
+    }
+
+    #[test]
+    fn encoded_width_matches_declared_width() {
+        let t = tiny_table();
+        for kind in [
+            EncoderKind::Auto,
+            EncoderKind::AllGmm,
+            EncoderKind::AllJkc,
+            EncoderKind::MinMax,
+        ] {
+            let cfg = EncoderConfig {
+                kind,
+                ..EncoderConfig::default()
+            };
+            let enc = TableEncoder::fit_exact(&t, &cfg);
+            let v = enc.encode_row(&t.row(0).unwrap());
+            assert_eq!(v.len(), enc.width(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn one_hot_block_has_exactly_one_bit() {
+        let t = tiny_table();
+        let cfg = EncoderConfig {
+            kind: EncoderKind::AllGmm,
+            n_components: 4,
+            ..EncoderConfig::default()
+        };
+        let enc = TableEncoder::fit_exact(&t, &cfg);
+        let v = enc.encode_row(&t.row(5).unwrap());
+        // Layout: [onehot×4, norm] × 2 attributes.
+        for a in 0..2 {
+            let block = &v[a * 5..a * 5 + 4];
+            let ones = block.iter().filter(|&&b| b == 1.0).count();
+            assert_eq!(ones, 1, "block {a}: {block:?}");
+            let norm = v[a * 5 + 4];
+            assert!((-1.0..=1.0).contains(&norm));
+        }
+    }
+
+    #[test]
+    fn minmax_is_plain_normalization() {
+        let t = tiny_table();
+        let cfg = EncoderConfig {
+            kind: EncoderKind::MinMax,
+            ..EncoderConfig::default()
+        };
+        let enc = TableEncoder::fit_exact(&t, &cfg);
+        assert_eq!(enc.width(), 2);
+        let v = enc.encode_row(&[5.0, 20.0]);
+        assert!(v.iter().all(|x| (0.0..=1.0).contains(x)));
+    }
+
+    #[test]
+    fn fits_on_real_generators() {
+        let mut rng = seeded(0);
+        let sdss = generate_sdss(3000, 0);
+        let enc = TableEncoder::fit(&sdss, &EncoderConfig::default(), &mut rng);
+        assert_eq!(enc.encoders().len(), 8);
+        let v = enc.encode_row(&sdss.row(17).unwrap());
+        assert_eq!(v.len(), enc.width());
+
+        let car = generate_car(3000, 0);
+        let enc = TableEncoder::fit(&car, &EncoderConfig::default(), &mut rng);
+        assert_eq!(enc.encoders().len(), 5);
+    }
+
+    #[test]
+    fn encode_rows_is_elementwise() {
+        let t = tiny_table();
+        let enc = TableEncoder::fit_exact(&t, &EncoderConfig::default());
+        let rows = t.to_rows();
+        let encoded = enc.encode_rows(&rows[..3]);
+        assert_eq!(encoded.len(), 3);
+        assert_eq!(encoded[1], enc.encode_row(&rows[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_row_width_panics() {
+        let t = tiny_table();
+        let enc = TableEncoder::fit_exact(&t, &EncoderConfig::default());
+        enc.encode_row(&[1.0]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Jenks natural-breaks classification (Fisher's optimal 1-D partition).
+//!
+//! JKC (§VII-A) splits a numeric attribute into `|b|` intervals minimizing
+//! within-interval variance and maximizing between-interval variance — the
+//! classic choropleth-map optimization of Jenks & Caspall. We implement the
+//! exact dynamic program (Fisher's algorithm) in O(k·n²) over the sorted
+//! sample, which is cheap at the paper's ≤1% sampling ratio.
+
+/// A fitted natural-breaks model: `k` contiguous intervals covering the
+/// sample range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JenksBreaks {
+    /// Interval boundaries, ascending: `bounds[i]..bounds[i+1]` is interval
+    /// `i`; `bounds.len() == k + 1`.
+    bounds: Vec<f64>,
+}
+
+impl JenksBreaks {
+    /// Fit `k` natural-breaks intervals to `values`.
+    ///
+    /// # Panics
+    /// Panics when `values` is empty or `k == 0`.
+    pub fn fit(values: &[f64], k: usize) -> Self {
+        assert!(!values.is_empty(), "JKC needs at least one value");
+        assert!(k > 0, "k must be positive");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.dedup();
+        let n = sorted.len();
+        let k = k.min(n);
+
+        if k == n {
+            // Each distinct value is its own class.
+            let mut bounds = Vec::with_capacity(n + 1);
+            bounds.push(sorted[0]);
+            for w in sorted.windows(2) {
+                bounds.push((w[0] + w[1]) / 2.0);
+            }
+            bounds.push(sorted[n - 1]);
+            // Ensure the last bound is the max itself.
+            let last = bounds.len() - 1;
+            bounds[last] = sorted[n - 1];
+            return Self { bounds };
+        }
+
+        // Prefix sums for O(1) segment SSE:
+        // sse(i..j) = Σx² − (Σx)²/len over sorted[i..=j].
+        let mut pref = vec![0.0; n + 1];
+        let mut pref2 = vec![0.0; n + 1];
+        for (i, &v) in sorted.iter().enumerate() {
+            pref[i + 1] = pref[i] + v;
+            pref2[i + 1] = pref2[i] + v * v;
+        }
+        let sse = |i: usize, j: usize| -> f64 {
+            // inclusive i..=j
+            let len = (j - i + 1) as f64;
+            let s = pref[j + 1] - pref[i];
+            let s2 = pref2[j + 1] - pref2[i];
+            (s2 - s * s / len).max(0.0)
+        };
+
+        // dp[c][j] = min SSE partitioning sorted[0..=j] into c+1 classes.
+        let mut dp = vec![vec![f64::INFINITY; n]; k];
+        let mut cut = vec![vec![0usize; n]; k];
+        for (j, cell) in dp[0].iter_mut().enumerate() {
+            *cell = sse(0, j);
+        }
+        for c in 1..k {
+            for j in c..n {
+                let mut best = f64::INFINITY;
+                let mut best_i = c;
+                for i in c..=j {
+                    let cost = dp[c - 1][i - 1] + sse(i, j);
+                    if cost < best {
+                        best = cost;
+                        best_i = i;
+                    }
+                }
+                dp[c][j] = best;
+                cut[c][j] = best_i;
+            }
+        }
+
+        // Backtrack class start indices.
+        let mut starts = vec![0usize; k];
+        let mut j = n - 1;
+        for c in (1..k).rev() {
+            starts[c] = cut[c][j];
+            j = starts[c] - 1;
+        }
+        // Boundaries between classes at midpoints of adjacent values.
+        let mut bounds = Vec::with_capacity(k + 1);
+        bounds.push(sorted[0]);
+        for &s in &starts[1..] {
+            bounds.push((sorted[s - 1] + sorted[s]) / 2.0);
+        }
+        bounds.push(sorted[n - 1]);
+        Self { bounds }
+    }
+
+    /// Reconstruct from previously fitted bounds (model persistence).
+    ///
+    /// # Panics
+    /// Panics when fewer than two bounds are given or bounds descend.
+    pub fn from_bounds(bounds: Vec<f64>) -> Self {
+        assert!(bounds.len() >= 2, "need at least one interval");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "bounds must ascend"
+        );
+        Self { bounds }
+    }
+
+    /// Number of intervals.
+    pub fn k(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Interval boundaries (length `k + 1`, ascending).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Index of the interval containing `x`; values outside the fitted range
+    /// clamp to the first/last interval ("comparing with boundary values",
+    /// Algorithm 3).
+    pub fn predict_interval(&self, x: f64) -> usize {
+        let k = self.k();
+        // Binary search over interior boundaries.
+        let interior = &self.bounds[1..k];
+        match interior.binary_search_by(|b| {
+            b.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Less)
+        }) {
+            Ok(i) => (i + 1).min(k - 1),
+            Err(i) => i.min(k - 1),
+        }
+    }
+
+    /// Normalize `x` within interval `i`:
+    /// `(x − b.min) / (b.max − b.min)` per Algorithm 3, clamped to `[0, 1]`.
+    pub fn normalize_in_interval(&self, x: f64, interval: usize) -> f64 {
+        let lo = self.bounds[interval];
+        let hi = self.bounds[interval + 1];
+        if hi - lo <= f64::EPSILON {
+            0.0
+        } else {
+            ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_two_obvious_groups() {
+        let values = [1.0, 1.1, 1.2, 9.0, 9.1, 9.2];
+        let j = JenksBreaks::fit(&values, 2);
+        assert_eq!(j.k(), 2);
+        // The break must fall in the large gap.
+        let mid = j.bounds()[1];
+        assert!(mid > 1.2 && mid < 9.0, "break at {mid}");
+        assert_eq!(j.predict_interval(1.15), 0);
+        assert_eq!(j.predict_interval(9.05), 1);
+    }
+
+    #[test]
+    fn three_groups_found_exactly() {
+        let mut values = Vec::new();
+        for i in 0..20 {
+            values.push(0.0 + i as f64 * 0.01);
+            values.push(5.0 + i as f64 * 0.01);
+            values.push(10.0 + i as f64 * 0.01);
+        }
+        let j = JenksBreaks::fit(&values, 3);
+        assert!(j.bounds()[1] > 0.2 && j.bounds()[1] < 5.0);
+        assert!(j.bounds()[2] > 5.2 && j.bounds()[2] < 10.0);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let j = JenksBreaks::fit(&[0.0, 1.0, 2.0, 10.0, 11.0], 2);
+        assert_eq!(j.predict_interval(-100.0), 0);
+        assert_eq!(j.predict_interval(100.0), j.k() - 1);
+    }
+
+    #[test]
+    fn normalize_maps_interval_to_unit() {
+        let j = JenksBreaks::fit(&[0.0, 1.0, 2.0, 10.0, 11.0, 12.0], 2);
+        let i = j.predict_interval(11.0);
+        let lo = j.bounds()[i];
+        let hi = j.bounds()[i + 1];
+        assert_eq!(j.normalize_in_interval(lo, i), 0.0);
+        assert_eq!(j.normalize_in_interval(hi, i), 1.0);
+        let v = j.normalize_in_interval(11.0, i);
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn k_larger_than_distinct_values() {
+        let j = JenksBreaks::fit(&[1.0, 1.0, 2.0, 2.0], 10);
+        assert_eq!(j.k(), 2);
+        assert_eq!(j.predict_interval(1.0), 0);
+        assert_eq!(j.predict_interval(2.0), 1);
+    }
+
+    #[test]
+    fn single_value_column() {
+        let j = JenksBreaks::fit(&[7.0, 7.0, 7.0], 3);
+        assert_eq!(j.k(), 1);
+        assert_eq!(j.predict_interval(7.0), 0);
+        assert_eq!(j.normalize_in_interval(7.0, 0), 0.0);
+    }
+
+    #[test]
+    fn dp_is_optimal_for_small_case() {
+        // Optimal 2-split of [0, 1, 10] is {0,1} | {10}: SSE = 0.5.
+        let j = JenksBreaks::fit(&[0.0, 1.0, 10.0], 2);
+        assert_eq!(j.predict_interval(0.0), 0);
+        assert_eq!(j.predict_interval(1.0), 0);
+        assert_eq!(j.predict_interval(10.0), 1);
+    }
+
+    #[test]
+    fn intervals_partition_the_range() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64).sqrt() * 3.7).collect();
+        let j = JenksBreaks::fit(&values, 5);
+        let b = j.bounds();
+        assert_eq!(b.len(), 6);
+        for w in b.windows(2) {
+            assert!(w[0] <= w[1], "bounds must ascend: {b:?}");
+        }
+        // Every value maps to the interval whose bounds bracket it.
+        for &v in &values {
+            let i = j.predict_interval(v);
+            assert!(v >= b[i] - 1e-9 && v <= b[i + 1] + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_input_panics() {
+        JenksBreaks::fit(&[], 2);
+    }
+}

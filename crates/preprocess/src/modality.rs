@@ -1,0 +1,148 @@
+//! Per-attribute modality heuristic: GMM or JKC?
+//!
+//! §VII-A: "GMM is suitable for processing numerical attributes with
+//! distribution composed of one or more peaks (unimodal and multimodal
+//! distributions) [...] there are a large number of numerical attributes
+//! with distributions composed of smooth intervals, like trends or time
+//! series, which are more suitable for being processed by JKC." We
+//! operationalize this with a histogram-peak probe: attributes whose
+//! (smoothed) histogram shows pronounced interior peaks are *peaked* → GMM;
+//! attributes whose mass changes gradually (monotone trends, plateaus) are
+//! *smooth* → JKC.
+
+use lte_data::stats::histogram;
+
+/// Detected distribution character of one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Modality {
+    /// Unimodal/multimodal with pronounced peaks → encode with GMM.
+    Peaked,
+    /// Smooth, trend-like, or plateau-shaped → encode with JKC.
+    Smooth,
+}
+
+/// Histogram bins used by the probe.
+const PROBE_BINS: usize = 32;
+/// Minimum mass fraction for a bin to count as a peak.
+const PEAK_MASS: f64 = 0.02;
+
+/// A peak must exceed this multiple of the median bin mass to count as
+/// *prominent* (filters the bin-to-bin jitter of flat/uniform histograms).
+const PROMINENCE: f64 = 1.6;
+
+/// Probe the modality of a column.
+///
+/// Decision rule: compute a 32-bin histogram, smooth it with a 3-bin moving
+/// average, and count *prominent* local maxima — bins that beat both
+/// neighbours, carry at least `PEAK_MASS` of the total mass, and rise
+/// `PROMINENCE`× above the median bin. Any prominent interior peak means
+/// mass is concentrated around modes → `Peaked` (GMM). Flat, monotone, or
+/// plateau-shaped histograms have no prominent interior peaks → `Smooth`
+/// (JKC).
+pub fn probe_modality(values: &[f64]) -> Modality {
+    if values.len() < 8 {
+        return Modality::Smooth;
+    }
+    let hist = histogram(values, PROBE_BINS);
+    let total: usize = hist.iter().sum();
+    if total == 0 {
+        return Modality::Smooth;
+    }
+
+    // 3-bin moving average.
+    let smooth: Vec<f64> = (0..hist.len())
+        .map(|i| {
+            let lo = i.saturating_sub(1);
+            let hi = (i + 1).min(hist.len() - 1);
+            (lo..=hi).map(|j| hist[j] as f64).sum::<f64>() / (hi - lo + 1) as f64
+        })
+        .collect();
+
+    let mut sorted = smooth.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = sorted[sorted.len() / 2].max(1.0);
+    let mass_floor = PEAK_MASS * total as f64;
+
+    let prominent = |i: usize| smooth[i] >= mass_floor && smooth[i] >= PROMINENCE * median;
+    let mut peaks = 0;
+    for i in 1..smooth.len() - 1 {
+        if smooth[i] > smooth[i - 1] && smooth[i] >= smooth[i + 1] && prominent(i) {
+            peaks += 1;
+        }
+    }
+    if peaks >= 1 {
+        return Modality::Peaked;
+    }
+
+    // Edge-mode rescue: interior-peak detection misses modes that sit at the
+    // histogram boundary (e.g. two blobs at the domain extremes). A *valley*
+    // — a run of near-empty bins with prominent mass on both sides — still
+    // reveals multi-modality, while monotone trends (mass fading towards one
+    // end with nothing beyond) produce no valley.
+    let low = |i: usize| smooth[i] < mass_floor / 2.0;
+    let mut i = 0;
+    while i < smooth.len() {
+        if low(i) {
+            let start = i;
+            while i < smooth.len() && low(i) {
+                i += 1;
+            }
+            let has_left = (0..start).any(prominent);
+            let has_right = (i..smooth.len()).any(prominent);
+            if has_left && has_right {
+                return Modality::Peaked;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    Modality::Smooth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lte_data::rng::{randn_scaled, seeded};
+    use rand::RngExt;
+
+    #[test]
+    fn bimodal_gaussians_are_peaked() {
+        let mut rng = seeded(0);
+        let mut v = Vec::new();
+        for _ in 0..3000 {
+            v.push(randn_scaled(&mut rng, -5.0, 0.4));
+            v.push(randn_scaled(&mut rng, 5.0, 0.4));
+        }
+        assert_eq!(probe_modality(&v), Modality::Peaked);
+    }
+
+    #[test]
+    fn tight_unimodal_gaussian_is_peaked() {
+        let mut rng = seeded(1);
+        // Narrow peak with long uniform tails → concentrated.
+        let mut v: Vec<f64> = (0..3000).map(|_| randn_scaled(&mut rng, 0.0, 0.2)).collect();
+        for _ in 0..300 {
+            v.push(rng.random::<f64>() * 20.0 - 10.0);
+        }
+        assert_eq!(probe_modality(&v), Modality::Peaked);
+    }
+
+    #[test]
+    fn linear_trend_is_smooth() {
+        let v: Vec<f64> = (0..4000).map(|i| i as f64 * 0.01).collect();
+        assert_eq!(probe_modality(&v), Modality::Smooth);
+    }
+
+    #[test]
+    fn exponential_decay_is_smooth() {
+        // Monotone density: lots of small values, few large.
+        let v: Vec<f64> = (0..4000).map(|i| ((i as f64 + 1.0) / 4000.0).powi(4) * 100.0).collect();
+        assert_eq!(probe_modality(&v), Modality::Smooth);
+    }
+
+    #[test]
+    fn tiny_or_empty_columns_default_to_smooth() {
+        assert_eq!(probe_modality(&[]), Modality::Smooth);
+        assert_eq!(probe_modality(&[1.0, 2.0]), Modality::Smooth);
+    }
+}

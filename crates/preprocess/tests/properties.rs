@@ -1,0 +1,71 @@
+//! Property-based tests for the preprocessing substrate.
+
+use lte_data::schema::{Attribute, Schema};
+use lte_data::table::Table;
+use lte_preprocess::{EncoderConfig, EncoderKind, Gmm, JenksBreaks, TableEncoder};
+use proptest::prelude::*;
+
+fn arb_values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e4..1e4f64, 2..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Jenks bounds ascend and every value maps to an interval that
+    /// brackets it.
+    #[test]
+    fn jenks_partitions_the_range(values in arb_values(), k in 1usize..8) {
+        let j = JenksBreaks::fit(&values, k);
+        let b = j.bounds();
+        for w in b.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        for &v in &values {
+            let i = j.predict_interval(v);
+            prop_assert!(i < j.k());
+            prop_assert!(v >= b[i] - 1e-9 && v <= b[i + 1] + 1e-9);
+            let norm = j.normalize_in_interval(v, i);
+            prop_assert!((0.0..=1.0).contains(&norm));
+        }
+    }
+
+    /// GMM components have positive std and weights that sum to one;
+    /// predictions are valid indices and mode-normalized values bounded.
+    #[test]
+    fn gmm_is_well_formed(values in arb_values(), k in 1usize..6) {
+        let g = Gmm::fit(&values, k);
+        let wsum: f64 = g.components().iter().map(|c| c.weight).sum();
+        prop_assert!((wsum - 1.0).abs() < 1e-6, "weights sum {wsum}");
+        prop_assert!(g.components().iter().all(|c| c.std > 0.0));
+        for &v in &values {
+            let comp = g.predict_component(v);
+            prop_assert!(comp < g.k());
+            let norm = g.normalize_in_component(v, comp);
+            prop_assert!((-1.0..=1.0).contains(&norm));
+        }
+    }
+
+    /// Any encoder kind produces vectors of its declared width, for any
+    /// in-domain or out-of-domain value.
+    #[test]
+    fn encoder_width_is_stable(
+        col in proptest::collection::vec(-100.0..100.0f64, 16..120),
+        probe in -1e3..1e3f64,
+        kind_idx in 0usize..4,
+    ) {
+        let kind = [
+            EncoderKind::Auto,
+            EncoderKind::AllGmm,
+            EncoderKind::AllJkc,
+            EncoderKind::MinMax,
+        ][kind_idx];
+        let schema = Schema::new(vec![Attribute::new("x", -100.0, 100.0)]);
+        let table = Table::new(schema, vec![col]).expect("table");
+        let cfg = EncoderConfig { kind, ..EncoderConfig::default() };
+        let enc = TableEncoder::fit_exact(&table, &cfg);
+        let v = enc.encode_row(&[probe]);
+        prop_assert_eq!(v.len(), enc.width());
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,97 @@
+//! Iterative exploration: continuing past the initial budget with active
+//! learning on top of the meta-learner (§III-B, "Other IDE Modules").
+//!
+//! After the few-shot initial exploration, the user keeps labelling the
+//! tuples the classifier is least certain about; the meta-learner re-adapts
+//! after every answer. The session tracks the three-set convergence bound
+//! so the user can stop when the prediction is certain enough.
+//!
+//! ```text
+//! cargo run --release --example iterative_session
+//! ```
+
+use lte::core::context::SubspaceContext;
+use lte::core::feature::expansion_degree;
+use lte::core::iterative::{explore_iteratively, IterativeConfig};
+use lte::core::meta_learner::MetaLearner;
+use lte::core::meta_task::generate_task_set;
+use lte::core::metrics::ConfusionMatrix;
+use lte::core::oracle::{RegionOracle, SubspaceOracle};
+use lte::core::uis::generate_uis;
+use lte::data::rng::seeded;
+use lte::prelude::*;
+
+fn main() {
+    let dataset = Dataset::sdss(20_000, 5);
+    let cfg = LteConfig::reduced();
+
+    // Offline, one subspace: (ra, dec).
+    let ctx = SubspaceContext::build(
+        &dataset.table,
+        Subspace::new(vec![2, 3]),
+        &cfg.task,
+        &cfg.encoder,
+        5,
+    );
+    let l = expansion_degree(cfg.task.ku, cfg.net.expansion_frac);
+    let tasks = generate_task_set(&ctx, &cfg.task, l, cfg.train.n_tasks, &mut seeded(6));
+    let mut learner = MetaLearner::new(
+        cfg.task.ku,
+        ctx.feature_width(),
+        &cfg.net,
+        cfg.train.clone(),
+        7,
+    );
+    learner.train(&tasks);
+    println!("meta-learner trained on {} tasks", tasks.len());
+
+    // A hidden interest region and the retrieval pool.
+    let uis = generate_uis(ctx.cu(), ctx.pu(), UisMode::new(3, 10), &mut seeded(88));
+    let oracle = RegionOracle::new(uis);
+    let pool: Vec<Vec<f64>> = ctx.sample_rows().to_vec();
+
+    let f1_of = |predictions: &[bool]| {
+        ConfusionMatrix::from_pairs(
+            predictions
+                .iter()
+                .zip(&pool)
+                .map(|(&p, row)| (p, oracle.label(row))),
+        )
+        .f1()
+    };
+
+    // Grow the budget and watch accuracy move.
+    println!("\nextra labels  rounds  total labels      F1");
+    for extra in [0usize, 5, 10, 20, 40] {
+        let iter_cfg = IterativeConfig {
+            extra_budget: extra,
+            ..IterativeConfig::default()
+        };
+        let outcome =
+            explore_iteratively(&ctx, &learner, &oracle, &pool, &cfg, &iter_cfg, 17);
+        println!(
+            "{extra:>12}  {:>6}  {:>12}  {:>6.3}",
+            outcome.rounds,
+            outcome.labels_used,
+            f1_of(&outcome.predictions)
+        );
+    }
+
+    // Convergence-bound stopping: halt as soon as the certain region is
+    // 60% of the covered area.
+    let iter_cfg = IterativeConfig {
+        extra_budget: 40,
+        stop_at_bound: Some(0.6),
+        ..IterativeConfig::default()
+    };
+    let outcome = explore_iteratively(&ctx, &learner, &oracle, &pool, &cfg, &iter_cfg, 17);
+    println!(
+        "\nwith stop_at_bound=0.6: stopped after {} extra labels (bound history: {:?})",
+        outcome.rounds,
+        outcome
+            .bound_history
+            .iter()
+            .map(|b| format!("{b:.2}"))
+            .collect::<Vec<_>>()
+    );
+}

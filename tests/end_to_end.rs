@@ -1,0 +1,124 @@
+//! Cross-crate integration tests: the full offline → online flow on
+//! realistic synthetic data, across all variants and both datasets.
+
+use lte::prelude::*;
+
+/// A small but complete configuration: enough meta-training to behave,
+/// small enough for CI.
+fn test_config() -> LteConfig {
+    let mut cfg = LteConfig::reduced();
+    cfg.train.n_tasks = 200;
+    cfg.train.epochs = 3;
+    cfg
+}
+
+fn pool(table: &Table, n: usize) -> Vec<Vec<f64>> {
+    (0..n.min(table.n_rows()))
+        .map(|i| table.row(i).expect("row"))
+        .collect()
+}
+
+#[test]
+fn sdss_offline_online_all_variants() {
+    let dataset = Dataset::sdss(6_000, 1);
+    let (pipeline, report) = LtePipeline::offline(
+        &dataset.table,
+        decompose_sequential(4, 2),
+        test_config(),
+        1,
+    );
+    assert_eq!(pipeline.contexts().len(), 2);
+    assert!(report.train_seconds > 0.0);
+
+    let truth = pipeline.generate_truth(UisMode::new(4, 8), 5, 0.25, 0.9);
+    let rows = pool(&dataset.table, 800);
+    assert!(truth.selectivity(&rows) > 0.01, "truth must have positives");
+
+    let mut f1s = Vec::new();
+    for variant in [Variant::Basic, Variant::Meta, Variant::MetaStar] {
+        let outcome = pipeline.explore(&truth, &rows, variant, 9);
+        assert_eq!(outcome.confusion.total(), rows.len());
+        assert_eq!(outcome.labels_used, pipeline.config().budget());
+        assert!(outcome.online_seconds > 0.0 && outcome.online_seconds < 60.0);
+        f1s.push(outcome.f1());
+    }
+    // All variants produce real classifiers (far better than marking
+    // everything interesting or nothing interesting).
+    for (i, f1) in f1s.iter().enumerate() {
+        assert!(*f1 > 0.1, "variant {i} F1 {f1}");
+    }
+}
+
+#[test]
+fn car_exploration_is_better_than_chance() {
+    let dataset = Dataset::car(5_000, 2);
+    let (pipeline, _) = LtePipeline::offline(
+        &dataset.table,
+        decompose_sequential(4, 2),
+        test_config(),
+        2,
+    );
+    let truth = pipeline.generate_truth(UisMode::new(2, 8), 11, 0.25, 0.9);
+    let rows = pool(&dataset.table, 800);
+    let sel = truth.selectivity(&rows);
+    let outcome = pipeline.explore(&truth, &rows, Variant::MetaStar, 3);
+
+    // Baseline F1 of the "predict everything positive" strategy is
+    // 2·sel/(1+sel); Meta* must beat it decisively.
+    let all_positive_f1 = 2.0 * sel / (1.0 + sel);
+    assert!(
+        outcome.f1() > all_positive_f1 + 0.05,
+        "Meta* {:.3} vs all-positive {:.3}",
+        outcome.f1(),
+        all_positive_f1
+    );
+}
+
+#[test]
+fn determinism_same_seed_same_outcome() {
+    let dataset = Dataset::sdss(4_000, 3);
+    let build = || {
+        LtePipeline::offline(
+            &dataset.table,
+            decompose_sequential(2, 2),
+            test_config(),
+            77,
+        )
+        .0
+    };
+    let p1 = build();
+    let p2 = build();
+    let truth1 = p1.generate_truth(UisMode::new(4, 8), 5, 0.2, 0.9);
+    let truth2 = p2.generate_truth(UisMode::new(4, 8), 5, 0.2, 0.9);
+    let rows = pool(&dataset.table, 400);
+    let o1 = p1.explore(&truth1, &rows, Variant::Meta, 5);
+    let o2 = p2.explore(&truth2, &rows, Variant::Meta, 5);
+    assert_eq!(o1.confusion, o2.confusion, "same seeds must reproduce");
+}
+
+#[test]
+fn one_dimensional_subspaces_are_supported() {
+    // 5 attributes with 2D decomposition leaves a 1D remainder subspace.
+    let dataset = Dataset::car(4_000, 4);
+    let subspaces = decompose_sequential(5, 2);
+    assert_eq!(subspaces.last().expect("subspaces").dim(), 1);
+    let (pipeline, _) = LtePipeline::offline(&dataset.table, subspaces, test_config(), 4);
+    let truth = pipeline.generate_truth(UisMode::new(2, 6), 13, 0.2, 0.95);
+    let rows = pool(&dataset.table, 400);
+    let outcome = pipeline.explore(&truth, &rows, Variant::MetaStar, 6);
+    assert!(outcome.f1().is_finite());
+}
+
+#[test]
+fn budget_retargeting_changes_initial_tuples() {
+    let dataset = Dataset::sdss(4_000, 5);
+    let cfg55 = test_config().with_budget(55);
+    assert_eq!(cfg55.budget(), 55);
+    let (pipeline, _) =
+        LtePipeline::offline(&dataset.table, decompose_sequential(2, 2), cfg55, 5);
+    let truth = pipeline.generate_truth(UisMode::new(4, 8), 5, 0.2, 0.9);
+    let rows = pool(&dataset.table, 300);
+    let outcome = pipeline.explore(&truth, &rows, Variant::Meta, 8);
+    assert_eq!(outcome.labels_used, 55);
+    assert_eq!(outcome.subspace_outcomes[0].cs_labels.len(), 50); // ks = B - Δ
+}

@@ -1,0 +1,199 @@
+//! Shape tests: the qualitative relationships the paper's evaluation
+//! rests on, verified end-to-end at test scale. These are the invariants a
+//! regression must never break — if any of these flips, the reproduction no
+//! longer tells the paper's story.
+
+use lte::baselines::kernel::Kernel;
+use lte::baselines::svm::SvmConfig;
+use lte::baselines::DsmExplorer;
+use lte::core::metrics::ConfusionMatrix;
+use lte::prelude::*;
+
+fn cfg() -> LteConfig {
+    let mut cfg = LteConfig::reduced();
+    cfg.train.n_tasks = 400;
+    cfg.train.epochs = 4;
+    cfg
+}
+
+fn avg_f1(
+    pipeline: &LtePipeline,
+    mode: UisMode,
+    rows: &[Vec<f64>],
+    variant: Variant,
+    reps: u64,
+) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0;
+    for rep in 0..reps {
+        let truth = pipeline.generate_truth(mode, 100 + rep, 0.2, 0.9);
+        if truth.selectivity(rows) < 0.02 {
+            continue;
+        }
+        total += pipeline.explore(&truth, rows, variant, 500 + rep).f1();
+        n += 1;
+    }
+    total / n.max(1) as f64
+}
+
+/// Meta* must clearly beat the from-scratch Basic classifier at the same
+/// budget (the paper's core claim), and beat Meta on average (the
+/// optimizer's purpose).
+#[test]
+fn meta_star_beats_basic_on_generalized_uis() {
+    let dataset = Dataset::sdss(10_000, 21);
+    let (pipeline, _) = LtePipeline::offline(
+        &dataset.table,
+        decompose_sequential(2, 2),
+        cfg(),
+        21,
+    );
+    let rows: Vec<Vec<f64>> = pipeline.contexts()[0].sample_rows().to_vec();
+    let mode = UisMode::new(4, 8);
+    let star = avg_f1(&pipeline, mode, &rows, Variant::MetaStar, 6);
+    let basic = avg_f1(&pipeline, mode, &rows, Variant::Basic, 6);
+    assert!(
+        star > basic + 0.05,
+        "Meta* {star:.3} must clearly beat Basic {basic:.3}"
+    );
+}
+
+/// Meta-training must help: the adapted meta-learner beats the same
+/// architecture trained from scratch, averaged over several test UISs.
+#[test]
+fn meta_beats_basic_on_average() {
+    let dataset = Dataset::sdss(10_000, 22);
+    let (pipeline, _) = LtePipeline::offline(
+        &dataset.table,
+        decompose_sequential(2, 2),
+        cfg(),
+        22,
+    );
+    let rows: Vec<Vec<f64>> = pipeline.contexts()[0].sample_rows().to_vec();
+    let mode = UisMode::new(4, 8);
+    let meta = avg_f1(&pipeline, mode, &rows, Variant::Meta, 8);
+    let basic = avg_f1(&pipeline, mode, &rows, Variant::Basic, 8);
+    assert!(
+        meta > basic - 0.02,
+        "Meta {meta:.3} must not trail Basic {basic:.3}"
+    );
+}
+
+/// DSM's dimensionality cliff (Fig. 4): its F1 at 8D must fall well below
+/// its 2D value, and Meta* must dominate DSM at 8D.
+#[test]
+fn dsm_degrades_with_dimensionality_and_meta_star_wins_high_d() {
+    let dataset = Dataset::sdss(10_000, 23);
+    let mode = UisMode::new(1, 16); // convex truths: DSM's best case
+
+    let run_dim = |dims: usize| -> (f64, f64) {
+        let (pipeline, _) = LtePipeline::offline(
+            &dataset.table,
+            decompose_sequential(dims, 2),
+            cfg(),
+            23 + dims as u64,
+        );
+        let rows: Vec<Vec<f64>> = (0..800)
+            .map(|i| dataset.table.row(i).expect("row"))
+            .collect();
+        let schema = dataset.table.schema();
+        let norm: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| {
+                (0..dims)
+                    .map(|c| schema.attr(c).expect("attr").normalize(r[c]))
+                    .collect()
+            })
+            .collect();
+
+        let mut star_total = 0.0;
+        let mut dsm_total = 0.0;
+        let mut n = 0;
+        for rep in 0..4u64 {
+            let truth = pipeline.generate_truth(mode, 300 + rep, 0.3, 0.9);
+            if truth.selectivity(&rows) < 0.02 {
+                continue;
+            }
+            star_total += pipeline.explore(&truth, &rows, Variant::MetaStar, rep).f1();
+            let mut dsm = DsmExplorer::new(decompose_sequential(dims, 2));
+            dsm.svm = SvmConfig {
+                kernel: Kernel::rbf_for_dim(dims),
+                ..SvmConfig::default()
+            };
+            dsm.seed = rep;
+            let model = dsm.explore(&norm, &|i: usize, _: &[f64]| truth.label(&rows[i]), 30);
+            let cm = ConfusionMatrix::from_pairs(
+                norm.iter()
+                    .zip(&rows)
+                    .map(|(nr, raw)| (model.predict(nr), truth.label(raw))),
+            );
+            dsm_total += cm.f1();
+            n += 1;
+        }
+        (star_total / n.max(1) as f64, dsm_total / n.max(1) as f64)
+    };
+
+    let (_star_2d, dsm_2d) = run_dim(2);
+    let (star_8d, dsm_8d) = run_dim(8);
+    assert!(
+        dsm_8d < dsm_2d,
+        "DSM must degrade with dimensionality: 2D {dsm_2d:.3} vs 8D {dsm_8d:.3}"
+    );
+    assert!(
+        star_8d > dsm_8d,
+        "Meta* {star_8d:.3} must beat DSM {dsm_8d:.3} at 8D"
+    );
+}
+
+/// LTE's online cost must not blow up with budget the way active learning
+/// does: DSM retrains per label, Meta* adapts once.
+#[test]
+fn online_cost_meta_flat_dsm_grows() {
+    let dataset = Dataset::sdss(10_000, 25);
+    let (pipeline30, _) = LtePipeline::offline(
+        &dataset.table,
+        decompose_sequential(4, 2),
+        cfg(),
+        25,
+    );
+    let rows: Vec<Vec<f64>> = (0..600)
+        .map(|i| dataset.table.row(i).expect("row"))
+        .collect();
+    let schema = dataset.table.schema();
+    let norm: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| {
+            (0..4)
+                .map(|c| schema.attr(c).expect("attr").normalize(r[c]))
+                .collect()
+        })
+        .collect();
+    let truth = pipeline30.generate_truth(UisMode::new(1, 16), 7, 0.3, 0.9);
+
+    let dsm_secs = |budget: usize| {
+        let mut dsm = DsmExplorer::new(decompose_sequential(4, 2));
+        dsm.svm = SvmConfig {
+            kernel: Kernel::rbf_for_dim(4),
+            ..SvmConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let _ = dsm.explore(&norm, &|i: usize, _: &[f64]| truth.label(&rows[i]), budget);
+        t0.elapsed().as_secs_f64()
+    };
+    // DSM cost grows with budget (more rounds, bigger SVMs, bigger hulls).
+    let d30 = dsm_secs(30);
+    let d105 = dsm_secs(105);
+    assert!(
+        d105 > d30,
+        "DSM online cost must grow with budget: {d30:.3}s vs {d105:.3}s"
+    );
+
+    // Meta*'s online cost is much smaller than DSM's at the larger budget.
+    let meta = pipeline30.explore(&truth, &rows, Variant::MetaStar, 1);
+    assert!(
+        meta.online_seconds < d105,
+        "Meta* {:.3}s must undercut DSM {:.3}s",
+        meta.online_seconds,
+        d105
+    );
+}
