@@ -7,7 +7,7 @@
 //! standard scalability device in these systems.
 
 use crate::svm::Svm;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Labels pool tuples on demand. The index refers to the explorer's pool;
 /// implementations may label from the feature vector (plain closures) or
@@ -94,19 +94,12 @@ pub fn sample_unlabeled<R: Rng + ?Sized>(
 /// Among `candidates` (pool indices), pick the one whose |decision value| is
 /// smallest — the classic uncertainty-sampling criterion. Returns `None` for
 /// an empty candidate list.
-pub fn most_uncertain(
-    svm: &Svm,
-    pool: &[Vec<f64>],
-    candidates: &[usize],
-) -> Option<usize> {
-    candidates
-        .iter()
-        .copied()
-        .min_by(|&a, &b| {
-            let da = svm.decision(&pool[a]).abs();
-            let db = svm.decision(&pool[b]).abs();
-            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-        })
+pub fn most_uncertain(svm: &Svm, pool: &[Vec<f64>], candidates: &[usize]) -> Option<usize> {
+    candidates.iter().copied().min_by(|&a, &b| {
+        let da = svm.decision(&pool[a]).abs();
+        let db = svm.decision(&pool[b]).abs();
+        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+    })
 }
 
 #[cfg(test)]

@@ -85,12 +85,7 @@ impl AideModel {
 
 impl AideExplorer {
     /// Run the exploration loop over `pool` with labelling budget `budget`.
-    pub fn explore(
-        &self,
-        pool: &[Vec<f64>],
-        oracle: &dyn PoolOracle,
-        budget: usize,
-    ) -> AideModel {
+    pub fn explore(&self, pool: &[Vec<f64>], oracle: &dyn PoolOracle, budget: usize) -> AideModel {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut labeled = LabeledSet::new();
 

@@ -78,12 +78,7 @@ impl AlSvmModel {
 impl AlSvmExplorer {
     /// Run the exploration loop: `pool` is the candidate tuple set (feature
     /// vectors), `oracle` the simulated user, `budget` the label budget `B`.
-    pub fn explore(
-        &self,
-        pool: &[Vec<f64>],
-        oracle: &dyn PoolOracle,
-        budget: usize,
-    ) -> AlSvmModel {
+    pub fn explore(&self, pool: &[Vec<f64>], oracle: &dyn PoolOracle, budget: usize) -> AlSvmModel {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut labeled = LabeledSet::new();
 
@@ -108,8 +103,9 @@ impl AlSvmExplorer {
                     ..self.svm.clone()
                 };
                 match Svm::train(&labeled.x, &labeled.y, &svm_cfg) {
-                    Some(svm) => most_uncertain(&svm, pool, &candidates)
-                        .expect("candidates is non-empty"),
+                    Some(svm) => {
+                        most_uncertain(&svm, pool, &candidates).expect("candidates is non-empty")
+                    }
                     None => candidates[0],
                 }
             } else {
@@ -196,7 +192,9 @@ mod tests {
         let pool = grid_pool();
         let acc = |b: usize| {
             let m = explorer.explore(&pool, &corner_oracle, b);
-            pool.iter().filter(|p| m.predict(p) == corner_oracle(0, p)).count() as f64
+            pool.iter()
+                .filter(|p| m.predict(p) == corner_oracle(0, p))
+                .count() as f64
                 / pool.len() as f64
         };
         assert!(acc(60) + 0.05 >= acc(12), "b60 {} b12 {}", acc(60), acc(12));

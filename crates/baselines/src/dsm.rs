@@ -48,22 +48,20 @@ impl DsmExplorer {
     }
 
     /// Run the exploration loop and return the fitted model.
-    pub fn explore(
-        &self,
-        pool: &[Vec<f64>],
-        oracle: &dyn PoolOracle,
-        budget: usize,
-    ) -> DsmModel {
+    pub fn explore(&self, pool: &[Vec<f64>], oracle: &dyn PoolOracle, budget: usize) -> DsmModel {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut labeled = LabeledSet::new();
-        let mut duals: Vec<DualSpaceModel> =
-            self.subspaces.iter().map(|_| DualSpaceModel::new()).collect();
+        let mut duals: Vec<DualSpaceModel> = self
+            .subspaces
+            .iter()
+            .map(|_| DualSpaceModel::new())
+            .collect();
 
         let absorb = |labeled: &mut LabeledSet,
-                          duals: &mut Vec<DualSpaceModel>,
-                          i: usize,
-                          row: &[f64],
-                          y: bool| {
+                      duals: &mut Vec<DualSpaceModel>,
+                      i: usize,
+                      row: &[f64],
+                      y: bool| {
             labeled.add(i, row.to_vec(), y);
             // Conjunctivity: a positive tuple is positive in *every*
             // subspace; a negative tuple's per-subspace labels are unknown,
@@ -268,10 +266,7 @@ mod tests {
         let explorer = DsmExplorer::new(subspaces());
         let pool = pool_4d();
         let model = explorer.explore(&pool, &oracle_fn(), 50);
-        let correct = pool
-            .iter()
-            .filter(|p| model.predict(p) == truth(p))
-            .count();
+        let correct = pool.iter().filter(|p| model.predict(p) == truth(p)).count();
         let acc = correct as f64 / pool.len() as f64;
         assert!(acc > 0.85, "accuracy {acc}");
     }

@@ -147,10 +147,12 @@ impl Svm {
                 alpha[j] = aj_new;
 
                 // Bias update (standard simplified-SMO rules).
-                let b1 = b - ei
+                let b1 = b
+                    - ei
                     - ys[i] * (ai_new - ai_old) * k[i * n + i]
                     - ys[j] * (aj_new - aj_old) * k[i * n + j];
-                let b2 = b - ej
+                let b2 = b
+                    - ej
                     - ys[i] * (ai_new - ai_old) * k[i * n + j]
                     - ys[j] * (aj_new - aj_old) * k[j * n + j];
                 b = if ai_new > 0.0 && ai_new < cap[i] {

@@ -96,7 +96,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    i = if row[*feature] < *threshold { *left } else { *right };
+                    i = if row[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -145,11 +149,7 @@ fn build(
         nodes.len() - 1
     };
 
-    if depth >= config.max_depth
-        || total < config.min_split
-        || pos == 0
-        || pos == total
-    {
+    if depth >= config.max_depth || total < config.min_split || pos == 0 || pos == total {
         return make_leaf(nodes);
     }
 
@@ -191,9 +191,8 @@ fn build(
     let Some((feature, threshold, _)) = best else {
         return make_leaf(nodes);
     };
-    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-        .iter()
-        .partition(|&&i| x[i][feature] < threshold);
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| x[i][feature] < threshold);
 
     // Reserve this node's slot, then build children.
     nodes.push(Node::Leaf {
@@ -276,7 +275,12 @@ mod tests {
 
     #[test]
     fn handles_duplicate_feature_values() {
-        let x = vec![vec![0.0, 1.0], vec![0.0, 2.0], vec![0.0, 3.0], vec![0.0, 4.0]];
+        let x = vec![
+            vec![0.0, 1.0],
+            vec![0.0, 2.0],
+            vec![0.0, 3.0],
+            vec![0.0, 4.0],
+        ];
         let y = vec![false, false, true, true];
         let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
         // Must split on feature 1 (feature 0 is constant).

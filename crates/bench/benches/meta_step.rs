@@ -37,14 +37,7 @@ fn bench_meta_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_adaptation");
     for steps in [1usize, 5, 10] {
         group.bench_with_input(BenchmarkId::new("steps", steps), &steps, |b, &steps| {
-            b.iter(|| {
-                learner.adapt(
-                    black_box(&task.v_r),
-                    black_box(&task.support),
-                    steps,
-                    0.05,
-                )
-            });
+            b.iter(|| learner.adapt(black_box(&task.v_r), black_box(&task.support), steps, 0.05));
         });
     }
     group.finish();

@@ -103,8 +103,10 @@ mod tests {
 
     #[test]
     fn full_flag_set() {
-        let o = parse(&["accuracy", "--paper", "--seed", "7", "--reps", "5", "--out", "/tmp/x"])
-            .unwrap();
+        let o = parse(&[
+            "accuracy", "--paper", "--seed", "7", "--reps", "5", "--out", "/tmp/x",
+        ])
+        .unwrap();
         assert!(o.paper);
         assert_eq!(o.seed, 7);
         assert_eq!(o.reps, 5);

@@ -60,12 +60,18 @@ pub fn run(env: &BenchEnv, out: Option<&Path>) {
             let seed = derive_seed(env.seed, (dims * 77 + budget) as u64);
             let mode = env.convex_mode();
             let f1 = |variant: Option<Variant>| {
-                average_over_truths(&cell.pipeline, mode, TruthPolicy::default(), &cell.pool, env.reps, seed, |t, s| {
-                    match variant {
+                average_over_truths(
+                    &cell.pipeline,
+                    mode,
+                    TruthPolicy::default(),
+                    &cell.pool,
+                    env.reps,
+                    seed,
+                    |t, s| match variant {
                         Some(v) => run_lte(&cell.pipeline, t, &cell.pool, v, s).f1,
                         None => run_dsm(env.table("sdss"), dims, t, &cell.pool, budget, s).f1,
-                    }
-                })
+                    },
+                )
             };
             report.push_row(vec![
                 budget.to_string(),

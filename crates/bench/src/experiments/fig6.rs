@@ -44,13 +44,21 @@ pub fn run(env: &BenchEnv, out: Option<&Path>) {
             let mut dsm_secs = 0.0;
             let mut meta_secs = 0.0;
             let reps = env.reps;
-            average_over_truths(&cell.pipeline, mode, TruthPolicy::default(), &cell.pool, reps, seed, |t, s| {
-                dsm_secs +=
-                    run_dsm(env.table("sdss"), dims, t, &cell.pool, budget, s).online_seconds;
-                meta_secs +=
-                    run_lte(&cell.pipeline, t, &cell.pool, Variant::MetaStar, s).online_seconds;
-                0.0
-            });
+            average_over_truths(
+                &cell.pipeline,
+                mode,
+                TruthPolicy::default(),
+                &cell.pool,
+                reps,
+                seed,
+                |t, s| {
+                    dsm_secs +=
+                        run_dsm(env.table("sdss"), dims, t, &cell.pool, budget, s).online_seconds;
+                    meta_secs +=
+                        run_lte(&cell.pipeline, t, &cell.pool, Variant::MetaStar, s).online_seconds;
+                    0.0
+                },
+            );
             col.push((dsm_secs / reps as f64, meta_secs / reps as f64));
         }
         columns.push(col);

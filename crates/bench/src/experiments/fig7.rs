@@ -15,8 +15,8 @@ use crate::env::BenchEnv;
 use crate::report::{fmt3, Report};
 use crate::runner::TruthPolicy;
 use crate::runner::{
-    average_over_truths, build_cell, default_threads, parallel_map, run_initial_tuple_svm,
-    run_lte, Cell,
+    average_over_truths, build_cell, default_threads, parallel_map, run_initial_tuple_svm, run_lte,
+    Cell,
 };
 use lte_core::explore::Variant;
 use lte_data::rng::derive_seed;

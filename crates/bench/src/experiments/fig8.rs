@@ -193,14 +193,9 @@ pub fn run_lr(env: &BenchEnv, out: Option<&Path>) {
                 cfg.train.n_tasks = cfg.train.n_tasks.max(2000);
                 cfg.train.epochs = cfg.train.epochs.max(8);
             }
-            let (pipeline, offline) = crate::runner::build_pipeline(
-                table,
-                2,
-                cfg,
-                derive_seed(env.seed, 900),
-            );
-            let pool =
-                crate::runner::eval_pool(table, env.eval_size, derive_seed(env.seed, 901));
+            let (pipeline, offline) =
+                crate::runner::build_pipeline(table, 2, cfg, derive_seed(env.seed, 900));
+            let pool = crate::runner::eval_pool(table, env.eval_size, derive_seed(env.seed, 901));
             (
                 *ds,
                 crate::runner::Cell {

@@ -11,9 +11,7 @@
 use crate::env::BenchEnv;
 use crate::report::{fmt3, Report};
 use crate::runner::TruthPolicy;
-use crate::runner::{
-    average_over_truths, build_cell, run_initial_tuple_svm, run_lte, Cell,
-};
+use crate::runner::{average_over_truths, build_cell, run_initial_tuple_svm, run_lte, Cell};
 use lte_core::explore::Variant;
 use lte_data::rng::derive_seed;
 use std::path::Path;
@@ -48,17 +46,11 @@ pub fn run(env: &BenchEnv, out: Option<&Path>) {
                     env.reps,
                     seed,
                     |t, s| match method {
-                        "Meta*" => {
-                            run_lte(&cell.pipeline, t, &cell.pool, Variant::MetaStar, s).f1
-                        }
+                        "Meta*" => run_lte(&cell.pipeline, t, &cell.pool, Variant::MetaStar, s).f1,
                         "Meta" => run_lte(&cell.pipeline, t, &cell.pool, Variant::Meta, s).f1,
                         "Basic" => run_lte(&cell.pipeline, t, &cell.pool, Variant::Basic, s).f1,
-                        "SVMr" => {
-                            run_initial_tuple_svm(&cell.pipeline, t, &cell.pool, true, s).f1
-                        }
-                        "SVM" => {
-                            run_initial_tuple_svm(&cell.pipeline, t, &cell.pool, false, s).f1
-                        }
+                        "SVMr" => run_initial_tuple_svm(&cell.pipeline, t, &cell.pool, true, s).f1,
+                        "SVM" => run_initial_tuple_svm(&cell.pipeline, t, &cell.pool, false, s).f1,
                         other => panic!("unknown method {other}"),
                     },
                 );

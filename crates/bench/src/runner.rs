@@ -313,8 +313,8 @@ pub fn average_over_truths(
     }
 }
 
-/// Run jobs across worker threads (index-preserving). Uses a crossbeam
-/// channel as the work queue; `threads` is clamped to the job count.
+/// Run jobs across worker threads (index-preserving). Uses a mutex-guarded
+/// iterator as the work queue; `threads` is clamped to the job count.
 pub fn parallel_map<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
 where
     I: Send,
@@ -326,26 +326,24 @@ where
     if threads <= 1 {
         return inputs.into_iter().map(f).collect();
     }
-    let (in_tx, in_rx) = crossbeam::channel::unbounded::<(usize, I)>();
-    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, O)>();
-    for pair in inputs.into_iter().enumerate() {
-        in_tx.send(pair).expect("queue open");
-    }
-    drop(in_tx);
+    let queue = std::sync::Mutex::new(inputs.into_iter().enumerate());
+    let outputs = std::sync::Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let in_rx = in_rx.clone();
-            let out_tx = out_tx.clone();
-            let f = &f;
-            scope.spawn(move || {
-                while let Ok((i, input)) = in_rx.recv() {
-                    let _ = out_tx.send((i, f(input)));
+            scope.spawn(|| loop {
+                // Take the lock only to pop; run the job outside it.
+                let next = queue.lock().expect("queue poisoned").next();
+                match next {
+                    Some((i, input)) => {
+                        let out = f(input);
+                        outputs.lock().expect("outputs poisoned").push((i, out));
+                    }
+                    None => break,
                 }
             });
         }
-        drop(out_tx);
     });
-    let mut results: Vec<(usize, O)> = out_rx.iter().collect();
+    let mut results = outputs.into_inner().expect("outputs poisoned");
     results.sort_by_key(|(i, _)| *i);
     results.into_iter().map(|(_, o)| o).collect()
 }

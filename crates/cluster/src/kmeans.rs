@@ -6,7 +6,7 @@
 //! reproducibility, so the seeding RNG is supplied by the caller.
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Squared Euclidean distance.
 fn dist2(a: &[f64], b: &[f64]) -> f64 {

@@ -35,12 +35,24 @@ fn main() {
     cfg.online.basic_steps = online_steps;
     cfg.train.direct_weight = direct;
 
-    let ctx = SubspaceContext::build(&table, Subspace::new(vec![0, 1]), &cfg.task, &cfg.encoder, 1);
+    let ctx = SubspaceContext::build(
+        &table,
+        Subspace::new(vec![0, 1]),
+        &cfg.task,
+        &cfg.encoder,
+        1,
+    );
     let l = expansion_degree(cfg.task.ku, cfg.net.expansion_frac);
     let tasks = generate_task_set(&ctx, &cfg.task, l, cfg.train.n_tasks, &mut seeded(2));
     let held_out = generate_task_set(&ctx, &cfg.task, l, 40, &mut seeded(999));
 
-    let mut learner = MetaLearner::new(cfg.task.ku, ctx.feature_width(), &cfg.net, cfg.train.clone(), 3);
+    let mut learner = MetaLearner::new(
+        cfg.task.ku,
+        ctx.feature_width(),
+        &cfg.net,
+        cfg.train.clone(),
+        3,
+    );
     let before_loss = learner.evaluate(&held_out);
     let before_acc = learner.evaluate_accuracy(&held_out);
     let t0 = std::time::Instant::now();
@@ -51,7 +63,10 @@ fn main() {
     println!(
         "tasks={n_tasks} epochs={epochs} lambda={lambda} local={local_steps} online={online_steps} mem={use_mem}"
     );
-    println!("  train {:.1}s  epoch losses {:?}", train_secs, report.epoch_query_loss);
+    println!(
+        "  train {:.1}s  epoch losses {:?}",
+        train_secs, report.epoch_query_loss
+    );
     println!("  held-out loss {before_loss:.4} -> {after_loss:.4}   acc {before_acc:.4} -> {after_acc:.4}");
 
     // Subspace-level F1 on fresh test UISs.
@@ -72,15 +87,22 @@ fn main() {
             };
             let out = explore_subspace(&ctx, learner_opt, &oracle, &eval, &cfg, variant, 7000 + r);
             let cm = ConfusionMatrix::from_pairs(
-                out.predictions.iter().zip(&eval).map(|(&p, row)| (p, oracle.label(row))),
+                out.predictions
+                    .iter()
+                    .zip(&eval)
+                    .map(|(&p, row)| (p, oracle.label(row))),
             );
             total += cm.f1();
             n += 1;
         }
         total / n.max(1) as f64
     };
-    println!("  F1  basic={:.4}  meta={:.4}  meta*={:.4}",
-        f1(Variant::Basic, 10), f1(Variant::Meta, 10), f1(Variant::MetaStar, 10));
+    println!(
+        "  F1  basic={:.4}  meta={:.4}  meta*={:.4}",
+        f1(Variant::Basic, 10),
+        f1(Variant::Meta, 10),
+        f1(Variant::MetaStar, 10)
+    );
 
     // Zero-shot probe: how well does the raw initialization classify from
     // (vR, vτ) with NO online adaptation at all?
@@ -88,13 +110,18 @@ fn main() {
     let mut zs_n = 0;
     for r in 0..10u64 {
         let uis = generate_uis(ctx.cu(), ctx.pu(), cfg.task.mode, &mut seeded(6000 + r));
-        if !(0.05..=0.95).contains(&uis.selectivity(&eval)) { continue; }
+        if !(0.05..=0.95).contains(&uis.selectivity(&eval)) {
+            continue;
+        }
         let oracle = RegionOracle::new(uis);
         let cs_labels: Vec<bool> = ctx.cs().iter().map(|c| oracle.label(c)).collect();
         let vr = lte_core::feature::uis_feature_vector(&cs_labels, ctx.ps(), l);
         let zero = learner.adapt(&vr, &[], 0, 0.0);
         let cm = ConfusionMatrix::from_pairs(eval.iter().map(|row| {
-            (zero.classifier.predict(&vr, &ctx.encode(row)), oracle.label(row))
+            (
+                zero.classifier.predict(&vr, &ctx.encode(row)),
+                oracle.label(row),
+            )
         }));
         zs_total += cm.f1();
         zs_n += 1;

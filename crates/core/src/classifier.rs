@@ -293,13 +293,7 @@ impl UisClassifier {
     /// Train on labeled examples with per-sample SGD — used for local
     /// adaptation (Eq. 12) and for the from-scratch `Basic` variant.
     /// Returns the average loss of the *final* pass.
-    pub fn train_local(
-        &mut self,
-        v_r: &[f64],
-        examples: &[Example],
-        steps: usize,
-        lr: f64,
-    ) -> f64 {
+    pub fn train_local(&mut self, v_r: &[f64], examples: &[Example], steps: usize, lr: f64) -> f64 {
         self.train_local_weighted(v_r, examples, steps, lr, 1.0)
     }
 

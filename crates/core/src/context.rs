@@ -207,7 +207,10 @@ mod tests {
         let c = ctx();
         let v = c.encode(&c.sample_rows()[0]);
         assert_eq!(v.len(), c.feature_width());
-        assert!(c.feature_width() > 2, "multi-modal encoding widens features");
+        assert!(
+            c.feature_width() > 2,
+            "multi-modal encoding widens features"
+        );
     }
 
     #[test]

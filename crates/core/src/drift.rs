@@ -162,10 +162,7 @@ mod tests {
             .collect();
         let shifted = Table::from_rows(schema, &shifted_rows).expect("table");
         let report = probe_drift(&ctx, &shifted, 500, &mut seeded(2));
-        assert!(
-            report.quantization_ratio > DEFAULT_MAX_RATIO,
-            "{report:?}"
-        );
+        assert!(report.quantization_ratio > DEFAULT_MAX_RATIO, "{report:?}");
         assert!(report.is_stale(DEFAULT_MAX_SHIFT, DEFAULT_MAX_RATIO));
     }
 

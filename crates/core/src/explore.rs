@@ -193,13 +193,7 @@ mod tests {
             21,
         );
         let l = expansion_degree(cfg.task.ku, cfg.net.expansion_frac);
-        let tasks = generate_task_set(
-            &ctx,
-            &cfg.task,
-            l,
-            cfg.train.n_tasks,
-            &mut seeded(22),
-        );
+        let tasks = generate_task_set(&ctx, &cfg.task, l, cfg.train.n_tasks, &mut seeded(22));
         let mut learner = MetaLearner::new(
             cfg.task.ku,
             ctx.feature_width(),
@@ -226,12 +220,7 @@ mod tests {
     fn meta_explores_unseen_uis_reasonably() {
         let s = setup();
         // A *test* UIS generated from a held-out seed.
-        let uis = generate_uis(
-            s.ctx.cu(),
-            s.ctx.pu(),
-            s.cfg.task.mode,
-            &mut seeded(1000),
-        );
+        let uis = generate_uis(s.ctx.cu(), s.ctx.pu(), s.cfg.task.mode, &mut seeded(1000));
         let oracle = RegionOracle::new(uis);
         let eval: Vec<Vec<f64>> = s.ctx.sample_rows().to_vec();
         let outcome = explore_subspace(
@@ -256,10 +245,22 @@ mod tests {
         let oracle = RegionOracle::new(uis);
         let eval: Vec<Vec<f64>> = s.ctx.sample_rows()[..200].to_vec();
         let meta = explore_subspace(
-            &s.ctx, Some(&s.learner), &oracle, &eval, &s.cfg, Variant::Meta, 32,
+            &s.ctx,
+            Some(&s.learner),
+            &oracle,
+            &eval,
+            &s.cfg,
+            Variant::Meta,
+            32,
         );
         let star = explore_subspace(
-            &s.ctx, Some(&s.learner), &oracle, &eval, &s.cfg, Variant::MetaStar, 32,
+            &s.ctx,
+            Some(&s.learner),
+            &oracle,
+            &eval,
+            &s.cfg,
+            Variant::MetaStar,
+            32,
         );
         // Same scores (revision is post-hoc), possibly different labels.
         assert_eq!(meta.scores, star.scores);
@@ -272,8 +273,7 @@ mod tests {
         let uis = generate_uis(s.ctx.cu(), s.ctx.pu(), s.cfg.task.mode, &mut seeded(1002));
         let oracle = RegionOracle::new(uis);
         let eval: Vec<Vec<f64>> = s.ctx.sample_rows()[..100].to_vec();
-        let outcome =
-            explore_subspace(&s.ctx, None, &oracle, &eval, &s.cfg, Variant::Basic, 33);
+        let outcome = explore_subspace(&s.ctx, None, &oracle, &eval, &s.cfg, Variant::Basic, 33);
         assert_eq!(outcome.predictions.len(), 100);
         assert!(outcome.online_seconds >= 0.0);
     }

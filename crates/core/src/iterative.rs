@@ -20,7 +20,7 @@ use crate::feature::{expansion_degree, uis_feature_vector};
 use crate::meta_learner::MetaLearner;
 use crate::oracle::SubspaceOracle;
 use lte_data::rng::{derive_seed, seeded};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Outcome of an iterative exploration session.
 #[derive(Debug, Clone)]
@@ -219,8 +219,7 @@ mod tests {
             extra_budget: 10,
             ..IterativeConfig::default()
         };
-        let outcome =
-            explore_iteratively(&ctx, &learner, &oracle, &pool, &cfg, &iter_cfg, 1);
+        let outcome = explore_iteratively(&ctx, &learner, &oracle, &pool, &cfg, &iter_cfg, 1);
         assert_eq!(outcome.rounds, 10);
         assert_eq!(outcome.labels_used, cfg.budget() + 10);
         assert_eq!(outcome.predictions.len(), 300);
@@ -245,9 +244,8 @@ mod tests {
                     extra_budget: extra,
                     ..IterativeConfig::default()
                 };
-                let o = explore_iteratively(
-                    &ctx, &learner, &oracle, &pool, &cfg, &iter_cfg, 300 + rep,
-                );
+                let o =
+                    explore_iteratively(&ctx, &learner, &oracle, &pool, &cfg, &iter_cfg, 300 + rep);
                 ConfusionMatrix::from_pairs(
                     o.predictions
                         .iter()
@@ -279,8 +277,7 @@ mod tests {
             stop_at_bound: Some(0.0), // trivially satisfied at once
             ..IterativeConfig::default()
         };
-        let outcome =
-            explore_iteratively(&ctx, &learner, &oracle, &pool, &cfg, &iter_cfg, 2);
+        let outcome = explore_iteratively(&ctx, &learner, &oracle, &pool, &cfg, &iter_cfg, 2);
         assert_eq!(outcome.rounds, 0, "bound 0.0 must stop immediately");
         assert_eq!(outcome.bound_history.len(), 1);
     }

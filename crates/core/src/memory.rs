@@ -178,7 +178,9 @@ mod tests {
             m.mvr.set(2, c, v * 10.0);
         }
         let a = m.attention(&probe);
-        let max_idx = (0..4).max_by(|&i, &j| a[i].partial_cmp(&a[j]).unwrap()).unwrap();
+        let max_idx = (0..4)
+            .max_by(|&i, &j| a[i].partial_cmp(&a[j]).unwrap())
+            .unwrap();
         assert_eq!(max_idx, 2, "{a:?}");
     }
 

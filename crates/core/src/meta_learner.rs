@@ -75,13 +75,7 @@ impl MetaLearner {
         let phi_t = host.t_block.params();
         let phi_clf = host.clf_block.params();
         let memories = if cfg.use_memories {
-            Some(Memories::init(
-                cfg.m,
-                ku,
-                phi_r.len(),
-                net.ne,
-                &mut rng,
-            ))
+            Some(Memories::init(cfg.m, ku, phi_r.len(), net.ne, &mut rng))
         } else {
             None
         };
@@ -312,10 +306,8 @@ impl MetaLearner {
         let mut total = 0.0;
         let mut n = 0usize;
         for task in tasks {
-            let adapted =
-                self.adapt(&task.v_r, &task.support, self.cfg.local_steps, self.cfg.rho);
-            total += adapted.classifier.loss_on(&task.v_r, &task.query)
-                * task.query.len() as f64;
+            let adapted = self.adapt(&task.v_r, &task.support, self.cfg.local_steps, self.cfg.rho);
+            total += adapted.classifier.loss_on(&task.v_r, &task.query) * task.query.len() as f64;
             n += task.query.len();
         }
         total / n.max(1) as f64
@@ -329,8 +321,7 @@ impl MetaLearner {
         let mut correct = 0usize;
         let mut n = 0usize;
         for task in tasks {
-            let adapted =
-                self.adapt(&task.v_r, &task.support, self.cfg.local_steps, self.cfg.rho);
+            let adapted = self.adapt(&task.v_r, &task.support, self.cfg.local_steps, self.cfg.rho);
             for (x, y) in &task.query {
                 if adapted.classifier.predict(&task.v_r, x) == *y {
                     correct += 1;

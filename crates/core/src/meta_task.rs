@@ -14,7 +14,7 @@ use crate::context::SubspaceContext;
 use crate::feature::uis_feature_vector;
 use crate::uis::{generate_uis, UisMode};
 use lte_geom::RegionUnion;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// One generated meta-task.
 #[derive(Debug, Clone)]

@@ -116,7 +116,10 @@ mod tests {
             (Subspace::new(vec![2, 3]), box_region(5.0, 5.0, 6.0, 6.0)),
         ]);
         assert!(oracle.label(&[0.5, 0.5, 5.5, 5.5]));
-        assert!(!oracle.label(&[0.5, 0.5, 0.0, 0.0]), "second subspace fails");
+        assert!(
+            !oracle.label(&[0.5, 0.5, 0.0, 0.0]),
+            "second subspace fails"
+        );
         assert!(!oracle.label(&[9.0, 9.0, 5.5, 5.5]), "first subspace fails");
     }
 

@@ -13,7 +13,9 @@
 //! loading validates structure and fails with a descriptive
 //! [`PersistError`] instead of panicking on corrupt input.
 
-use crate::config::{LteConfig, MetaTaskConfig, NetConfig, OnlineConfig, RefineConfig, TrainConfig};
+use crate::config::{
+    LteConfig, MetaTaskConfig, NetConfig, OnlineConfig, RefineConfig, TrainConfig,
+};
 use crate::context::SubspaceContext;
 use crate::memory::Memories;
 use crate::meta_learner::MetaLearner;
@@ -510,7 +512,9 @@ pub fn pipeline_from_bytes(data: &[u8]) -> Result<LtePipeline, PersistError> {
     if d.pos != data.len() {
         return Err(PersistError::Corrupt("trailing bytes"));
     }
-    Ok(LtePipeline::from_parts(config, subspaces, contexts, learners))
+    Ok(LtePipeline::from_parts(
+        config, subspaces, contexts, learners,
+    ))
 }
 
 /// Save a trained pipeline to a file.
@@ -588,7 +592,10 @@ mod tests {
         let bytes = pipeline_to_bytes(&p);
         for cut in [5usize, 50, 500, bytes.len() - 1] {
             let err = pipeline_from_bytes(&bytes[..cut]).unwrap_err();
-            assert!(matches!(err, PersistError::Corrupt(_)), "cut at {cut}: {err}");
+            assert!(
+                matches!(err, PersistError::Corrupt(_)),
+                "cut at {cut}: {err}"
+            );
         }
     }
 

@@ -81,10 +81,7 @@ impl UirOutcome {
     /// natural conjunction of per-subspace beliefs. `k = None` returns the
     /// full ranking.
     pub fn ranked_retrieval(&self, k: Option<usize>) -> Vec<(usize, f64)> {
-        let n = self
-            .subspace_outcomes
-            .first()
-            .map_or(0, |o| o.scores.len());
+        let n = self.subspace_outcomes.first().map_or(0, |o| o.scores.len());
         let mut scored: Vec<(usize, f64)> = (0..n)
             .map(|i| {
                 let conf = self
@@ -160,13 +157,8 @@ impl LtePipeline {
 
         for (i, sub) in subspaces.iter().enumerate() {
             let sub_seed = derive_seed(seed, i as u64);
-            let ctx = SubspaceContext::build(
-                table,
-                sub.clone(),
-                &config.task,
-                &config.encoder,
-                sub_seed,
-            );
+            let ctx =
+                SubspaceContext::build(table, sub.clone(), &config.task, &config.encoder, sub_seed);
 
             let l = expansion_degree(config.task.ku, config.net.expansion_frac);
             let t0 = Instant::now();

@@ -239,7 +239,11 @@ mod tests {
     #[test]
     fn more_positives_grow_regions() {
         let c = ctx();
-        let one = build_subregions(&c, &labels_with_one_positive(&c, 0), &RefineConfig::default());
+        let one = build_subregions(
+            &c,
+            &labels_with_one_positive(&c, 0),
+            &RefineConfig::default(),
+        );
         let mut labels = labels_with_one_positive(&c, 0);
         labels[c.cs().len() - 1] = true;
         let two = build_subregions(&c, &labels, &RefineConfig::default());
@@ -257,7 +261,11 @@ mod tests {
     #[test]
     fn three_set_bound_in_unit_interval_and_zero_without_anchors() {
         let c = ctx();
-        let regions = build_subregions(&c, &labels_with_one_positive(&c, 0), &RefineConfig::default());
+        let regions = build_subregions(
+            &c,
+            &labels_with_one_positive(&c, 0),
+            &RefineConfig::default(),
+        );
         let bound = regions.three_set_bound(c.sample_rows());
         assert!((0.0..=1.0).contains(&bound));
 

@@ -9,7 +9,7 @@
 
 use lte_cluster::ProximityMatrix;
 use lte_geom::{ConvexPolygon, Region, RegionUnion};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A UIS complexity mode: `α` convex parts, each the hull of a `ψ`-nearest
 /// cluster-center set. Table III's benchmark modes M1–M7 are instances.
@@ -130,8 +130,18 @@ mod tests {
     fn generation_is_deterministic_under_seed() {
         let centers = grid_centers();
         let pu = ProximityMatrix::within(&centers);
-        let a = generate_uis(&centers, &pu, UisMode::new(2, 5), &mut StdRng::seed_from_u64(7));
-        let b = generate_uis(&centers, &pu, UisMode::new(2, 5), &mut StdRng::seed_from_u64(7));
+        let a = generate_uis(
+            &centers,
+            &pu,
+            UisMode::new(2, 5),
+            &mut StdRng::seed_from_u64(7),
+        );
+        let b = generate_uis(
+            &centers,
+            &pu,
+            UisMode::new(2, 5),
+            &mut StdRng::seed_from_u64(7),
+        );
         assert_eq!(a, b);
     }
 
@@ -162,8 +172,18 @@ mod tests {
         let centers = grid_centers();
         let pu = ProximityMatrix::within(&centers);
         // Same anchor by same seed: hull over more neighbours is a superset.
-        let small = generate_uis(&centers, &pu, UisMode::new(1, 4), &mut StdRng::seed_from_u64(3));
-        let large = generate_uis(&centers, &pu, UisMode::new(1, 12), &mut StdRng::seed_from_u64(3));
+        let small = generate_uis(
+            &centers,
+            &pu,
+            UisMode::new(1, 4),
+            &mut StdRng::seed_from_u64(3),
+        );
+        let large = generate_uis(
+            &centers,
+            &pu,
+            UisMode::new(1, 12),
+            &mut StdRng::seed_from_u64(3),
+        );
         let count = |u: &RegionUnion| centers.iter().filter(|c| u.contains(c)).count();
         assert!(count(&large) >= count(&small));
     }

@@ -59,7 +59,10 @@ impl std::fmt::Display for CsvError {
                 actual,
             } => write!(f, "line {line}: expected {expected} fields, found {actual}"),
             CsvError::BadNumber { line, column, text } => {
-                write!(f, "line {line}, column `{column}`: `{text}` is not a number")
+                write!(
+                    f,
+                    "line {line}, column `{column}`: `{text}` is not a number"
+                )
             }
             CsvError::UnterminatedQuote { line } => {
                 write!(f, "line {line}: unterminated quoted field")
@@ -111,10 +114,14 @@ fn split_record(line: &str) -> Option<Vec<String>> {
 /// Parse CSV text into a [`Table`]. Attribute domains are fitted to the
 /// observed min/max per column. Empty lines are skipped.
 pub fn parse_csv(text: &str) -> Result<Table, CsvError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (header_line, header) = lines.next().ok_or(CsvError::MissingHeader)?;
-    let names =
-        split_record(header).ok_or(CsvError::UnterminatedQuote { line: header_line + 1 })?;
+    let names = split_record(header).ok_or(CsvError::UnterminatedQuote {
+        line: header_line + 1,
+    })?;
     let n_cols = names.len();
 
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n_cols];

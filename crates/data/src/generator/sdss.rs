@@ -31,12 +31,54 @@ struct Stripe {
 fn stripes() -> Vec<Stripe> {
     // Six stripes with uneven weights => clearly multi-modal marginals.
     vec![
-        Stripe { weight: 0.28, ra_center: 30.0, dec_center: -5.0, row_center: 350.0, col_center: 420.0, sky_base: 21.8 },
-        Stripe { weight: 0.22, ra_center: 95.0, dec_center: 12.0, row_center: 820.0, col_center: 300.0, sky_base: 22.6 },
-        Stripe { weight: 0.18, ra_center: 150.0, dec_center: 33.0, row_center: 1250.0, col_center: 980.0, sky_base: 23.1 },
-        Stripe { weight: 0.14, ra_center: 210.0, dec_center: 48.0, row_center: 560.0, col_center: 1500.0, sky_base: 22.2 },
-        Stripe { weight: 0.11, ra_center: 280.0, dec_center: -22.0, row_center: 1700.0, col_center: 700.0, sky_base: 21.4 },
-        Stripe { weight: 0.07, ra_center: 330.0, dec_center: 60.0, row_center: 980.0, col_center: 1150.0, sky_base: 23.6 },
+        Stripe {
+            weight: 0.28,
+            ra_center: 30.0,
+            dec_center: -5.0,
+            row_center: 350.0,
+            col_center: 420.0,
+            sky_base: 21.8,
+        },
+        Stripe {
+            weight: 0.22,
+            ra_center: 95.0,
+            dec_center: 12.0,
+            row_center: 820.0,
+            col_center: 300.0,
+            sky_base: 22.6,
+        },
+        Stripe {
+            weight: 0.18,
+            ra_center: 150.0,
+            dec_center: 33.0,
+            row_center: 1250.0,
+            col_center: 980.0,
+            sky_base: 23.1,
+        },
+        Stripe {
+            weight: 0.14,
+            ra_center: 210.0,
+            dec_center: 48.0,
+            row_center: 560.0,
+            col_center: 1500.0,
+            sky_base: 22.2,
+        },
+        Stripe {
+            weight: 0.11,
+            ra_center: 280.0,
+            dec_center: -22.0,
+            row_center: 1700.0,
+            col_center: 700.0,
+            sky_base: 21.4,
+        },
+        Stripe {
+            weight: 0.07,
+            ra_center: 330.0,
+            dec_center: 60.0,
+            row_center: 980.0,
+            col_center: 1150.0,
+            sky_base: 23.6,
+        },
     ]
 }
 
@@ -129,7 +171,11 @@ mod tests {
         assert!(populated >= 4, "only {populated} stripes populated");
         // Valley between 30 and 95 should be sparse relative to peaks.
         let valley = ra.iter().filter(|&&v| (v - 62.5).abs() < 10.0).count();
-        assert!(valley * 4 < near(30.0), "valley {valley} vs peak {}", near(30.0));
+        assert!(
+            valley * 4 < near(30.0),
+            "valley {valley} vs peak {}",
+            near(30.0)
+        );
     }
 
     #[test]

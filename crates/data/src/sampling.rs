@@ -6,7 +6,7 @@
 //! sample (§VII-A). These helpers produce reproducible samples given a
 //! seeded RNG.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Sample `n` distinct indices from `0..len` uniformly at random.
 ///

@@ -11,7 +11,7 @@
 use crate::error::DataError;
 use crate::schema::Schema;
 use crate::table::Table;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A low-dimensional subspace: an ordered subset of attribute indices of the
 /// full schema.

@@ -184,7 +184,12 @@ impl Table {
     /// Sample a fixed fraction of rows, e.g. the paper's 1% clustering sample
     /// (§V footnote 6). Guarantees at least `min` rows (clamped to table
     /// size) so tiny tables remain usable.
-    pub fn sample_fraction<R: Rng + ?Sized>(&self, rng: &mut R, fraction: f64, min: usize) -> Table {
+    pub fn sample_fraction<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        fraction: f64,
+        min: usize,
+    ) -> Table {
         let want = ((self.n_rows as f64 * fraction).ceil() as usize)
             .max(min)
             .min(self.n_rows);

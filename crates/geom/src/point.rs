@@ -117,9 +117,6 @@ mod tests {
         assert_eq!(dist2_point_segment(Point2::new(-3.0, 0.0), a, b), 9.0);
         assert_eq!(dist2_point_segment(Point2::new(13.0, 0.0), a, b), 9.0);
         // Degenerate segment.
-        assert_eq!(
-            dist2_point_segment(Point2::new(1.0, 1.0), a, a),
-            2.0
-        );
+        assert_eq!(dist2_point_segment(Point2::new(1.0, 1.0), a, a), 2.0);
     }
 }

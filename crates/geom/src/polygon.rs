@@ -54,8 +54,8 @@ impl ConvexPolygon {
         let mut area2 = 0.0;
         for i in 0..self.vertices.len() {
             let j = (i + 1) % self.vertices.len();
-            area2 += self.vertices[i].x * self.vertices[j].y
-                - self.vertices[j].x * self.vertices[i].y;
+            area2 +=
+                self.vertices[i].x * self.vertices[j].y - self.vertices[j].x * self.vertices[i].y;
         }
         area2.abs() / 2.0
     }

@@ -166,10 +166,7 @@ mod tests {
     #[test]
     fn negative_cone_extends_away_from_hull() {
         // Positive triangle around the origin; negative at (3, 0).
-        let m = model_with(
-            &[[0.0, 1.0], [0.0, -1.0], [-1.0, 0.0]],
-            &[[3.0, 0.0]],
-        );
+        let m = model_with(&[[0.0, 1.0], [0.0, -1.0], [-1.0, 0.0]], &[[3.0, 0.0]]);
         // Points beyond the negative along the same direction are certainly
         // negative: the segment from (5,0) to the hull passes through (3,0).
         assert_eq!(m.classify(&[5.0, 0.0]), ThreeSetLabel::Negative);
@@ -202,15 +199,12 @@ mod tests {
 
     #[test]
     fn three_set_counts_and_f1_bound() {
-        let m = model_with(
-            &[[0.0, 0.0], [1.0, 0.0], [0.5, 1.0]],
-            &[[3.0, 0.0]],
-        );
+        let m = model_with(&[[0.0, 0.0], [1.0, 0.0], [0.5, 1.0]], &[[3.0, 0.0]]);
         let rows = vec![
-            vec![0.5, 0.3],  // positive
-            vec![4.0, 0.0],  // negative cone
-            vec![0.0, 5.0],  // uncertain
-            vec![0.5, 0.5],  // positive
+            vec![0.5, 0.3], // positive
+            vec![4.0, 0.0], // negative cone
+            vec![0.0, 5.0], // uncertain
+            vec![0.5, 0.5], // positive
         ];
         let (np, nn, nu) = m.three_set_counts(&rows);
         assert_eq!((np, nn, nu), (2, 1, 1));
@@ -228,10 +222,7 @@ mod tests {
     fn contradictory_negative_inside_hull_is_ignored_for_cones() {
         // A negative inside the positive hull (non-convex ground truth)
         // must not poison the whole plane.
-        let m = model_with(
-            &[[0.0, 0.0], [4.0, 0.0], [2.0, 4.0]],
-            &[[2.0, 1.0]],
-        );
+        let m = model_with(&[[0.0, 0.0], [4.0, 0.0], [2.0, 4.0]], &[[2.0, 1.0]]);
         assert_eq!(m.classify(&[10.0, 10.0]), ThreeSetLabel::Uncertain);
     }
 }

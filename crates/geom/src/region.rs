@@ -32,9 +32,7 @@ impl Region {
     /// Membership test for a raw subspace row.
     pub fn contains(&self, row: &[f64]) -> bool {
         match self {
-            Region::Interval { lo, hi } => {
-                row.first().is_some_and(|&v| v >= *lo && v <= *hi)
-            }
+            Region::Interval { lo, hi } => row.first().is_some_and(|&v| v >= *lo && v <= *hi),
             Region::Polygon(poly) => poly.contains_row(row),
             Region::Box(b) => row.len() == b.dim() && b.contains(row),
         }
@@ -157,7 +155,12 @@ mod tests {
     #[test]
     fn selectivity_counts_members() {
         let uis = RegionUnion::new(vec![square(0.0, 0.0, 1.0, 1.0)]);
-        let rows = vec![vec![0.5, 0.5], vec![2.0, 2.0], vec![0.1, 0.9], vec![9.0, 9.0]];
+        let rows = vec![
+            vec![0.5, 0.5],
+            vec![2.0, 2.0],
+            vec![0.1, 0.9],
+            vec![9.0, 9.0],
+        ];
         assert_eq!(uis.selectivity(&rows), 0.5);
         assert_eq!(uis.selectivity(&[]), 0.0);
     }

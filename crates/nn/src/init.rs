@@ -1,6 +1,6 @@
 //! Weight initialization.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Uniform sample in `[-a, a]`.
 pub fn uniform_sym<R: Rng + ?Sized>(rng: &mut R, a: f64) -> f64 {

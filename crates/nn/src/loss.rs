@@ -67,7 +67,8 @@ mod tests {
         for &z in &[-3.0, -0.5, 0.0, 0.5, 3.0] {
             for &y in &[0.0, 1.0] {
                 let (_, g) = bce_with_logits(z, y);
-                let numeric = (bce_with_logits(z + h, y).0 - bce_with_logits(z - h, y).0) / (2.0 * h);
+                let numeric =
+                    (bce_with_logits(z + h, y).0 - bce_with_logits(z - h, y).0) / (2.0 * h);
                 assert!((g - numeric).abs() < 1e-6, "z={z} y={y}");
             }
         }

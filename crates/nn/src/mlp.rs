@@ -239,7 +239,12 @@ mod tests {
     fn backward_matches_finite_differences() {
         // Smooth activations only: ReLU kinks break finite differences.
         let mut rng = StdRng::seed_from_u64(3);
-        let mlp = Mlp::new(&[3, 6, 4, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let mlp = Mlp::new(
+            &[3, 6, 4, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
         let x = [0.7, -0.2, 0.4];
         let max_err = gradcheck::max_param_grad_error(&mlp, &x);
         assert!(max_err < 1e-5, "max grad error {max_err}");
@@ -248,7 +253,12 @@ mod tests {
     #[test]
     fn backward_input_gradient_matches_finite_differences() {
         let mut rng = StdRng::seed_from_u64(4);
-        let mlp = Mlp::new(&[3, 5, 1], Activation::Sigmoid, Activation::Identity, &mut rng);
+        let mlp = Mlp::new(
+            &[3, 5, 1],
+            Activation::Sigmoid,
+            Activation::Identity,
+            &mut rng,
+        );
         let x = [0.1, 0.9, -0.4];
         let err = gradcheck::max_input_grad_error(&mlp, &x);
         assert!(err < 1e-5, "max input grad error {err}");

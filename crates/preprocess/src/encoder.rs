@@ -128,9 +128,7 @@ impl TableEncoder {
             let attr = sample.schema().attr(c).expect("attr in range").clone();
             let enc = match config.kind {
                 EncoderKind::MinMax => AttributeEncoder::MinMax(attr),
-                EncoderKind::AllGmm => {
-                    AttributeEncoder::Gmm(Gmm::fit(values, config.n_components))
-                }
+                EncoderKind::AllGmm => AttributeEncoder::Gmm(Gmm::fit(values, config.n_components)),
                 EncoderKind::AllJkc => {
                     AttributeEncoder::Jenks(JenksBreaks::fit(values, config.n_intervals))
                 }

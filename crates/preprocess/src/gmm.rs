@@ -51,8 +51,11 @@ impl Gmm {
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
 
         let mean_all = values.iter().sum::<f64>() / n as f64;
-        let var_all =
-            values.iter().map(|v| (v - mean_all) * (v - mean_all)).sum::<f64>() / n as f64;
+        let var_all = values
+            .iter()
+            .map(|v| (v - mean_all) * (v - mean_all))
+            .sum::<f64>()
+            / n as f64;
         let std_floor = (var_all.sqrt() * 1e-3).max(1e-9);
         let init_std = (var_all.sqrt() / k as f64).max(std_floor);
 

@@ -128,9 +128,7 @@ impl JenksBreaks {
         let k = self.k();
         // Binary search over interior boundaries.
         let interior = &self.bounds[1..k];
-        match interior.binary_search_by(|b| {
-            b.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Less)
-        }) {
+        match interior.binary_search_by(|b| b.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Less)) {
             Ok(i) => (i + 1).min(k - 1),
             Err(i) => i.min(k - 1),
         }

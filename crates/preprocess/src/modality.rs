@@ -120,7 +120,9 @@ mod tests {
     fn tight_unimodal_gaussian_is_peaked() {
         let mut rng = seeded(1);
         // Narrow peak with long uniform tails → concentrated.
-        let mut v: Vec<f64> = (0..3000).map(|_| randn_scaled(&mut rng, 0.0, 0.2)).collect();
+        let mut v: Vec<f64> = (0..3000)
+            .map(|_| randn_scaled(&mut rng, 0.0, 0.2))
+            .collect();
         for _ in 0..300 {
             v.push(rng.random::<f64>() * 20.0 - 10.0);
         }
@@ -136,7 +138,9 @@ mod tests {
     #[test]
     fn exponential_decay_is_smooth() {
         // Monotone density: lots of small values, few large.
-        let v: Vec<f64> = (0..4000).map(|i| ((i as f64 + 1.0) / 4000.0).powi(4) * 100.0).collect();
+        let v: Vec<f64> = (0..4000)
+            .map(|i| ((i as f64 + 1.0) / 4000.0).powi(4) * 100.0)
+            .collect();
         assert_eq!(probe_modality(&v), Modality::Smooth);
     }
 

@@ -33,12 +33,24 @@ fn main() {
     //  * (price, mileage): affordable low-mileage OR very cheap any-mileage,
     //  * (year, power): recent cars OR powerful older ones.
     let price_mileage = RegionUnion::new(vec![
-        Region::Box(lte::geom::Aabb::new(vec![4_000.0, 10_000.0], vec![22_000.0, 110_000.0])),
-        Region::Box(lte::geom::Aabb::new(vec![500.0, 120_000.0], vec![6_000.0, 280_000.0])),
+        Region::Box(lte::geom::Aabb::new(
+            vec![4_000.0, 10_000.0],
+            vec![22_000.0, 110_000.0],
+        )),
+        Region::Box(lte::geom::Aabb::new(
+            vec![500.0, 120_000.0],
+            vec![6_000.0, 280_000.0],
+        )),
     ]);
     let year_power = RegionUnion::new(vec![
-        Region::Box(lte::geom::Aabb::new(vec![2012.0, 60.0], vec![2022.0, 260.0])),
-        Region::Box(lte::geom::Aabb::new(vec![1998.0, 150.0], vec![2010.0, 420.0])),
+        Region::Box(lte::geom::Aabb::new(
+            vec![2012.0, 60.0],
+            vec![2022.0, 260.0],
+        )),
+        Region::Box(lte::geom::Aabb::new(
+            vec![1998.0, 150.0],
+            vec![2010.0, 420.0],
+        )),
     ]);
     let truth = ConjunctiveOracle::new(vec![
         (subspaces[0].clone(), price_mileage),

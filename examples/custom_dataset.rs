@@ -46,7 +46,11 @@ fn sensor_log(n: usize, seed: u64) -> Table {
 
 fn main() {
     let table = sensor_log(15_000, 9);
-    println!("sensor log: {} readings × {} channels", table.n_rows(), table.n_cols());
+    println!(
+        "sensor log: {} readings × {} channels",
+        table.n_rows(),
+        table.n_cols()
+    );
 
     // Work a single 2D subspace end-to-end with the low-level API:
     // (temp, vibration) is where the engineer's intuition lives.

@@ -67,8 +67,7 @@ fn main() {
             extra_budget: extra,
             ..IterativeConfig::default()
         };
-        let outcome =
-            explore_iteratively(&ctx, &learner, &oracle, &pool, &cfg, &iter_cfg, 17);
+        let outcome = explore_iteratively(&ctx, &learner, &oracle, &pool, &cfg, &iter_cfg, 17);
         println!(
             "{extra:>12}  {:>6}  {:>12}  {:>6.3}",
             outcome.rounds,

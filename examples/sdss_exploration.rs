@@ -40,7 +40,10 @@ fn main() {
     //  * motion: slow movers only.
     let ccd = RegionUnion::new(vec![
         Region::Box(lte::geom::Aabb::new(vec![100.0, 100.0], vec![800.0, 900.0])),
-        Region::Box(lte::geom::Aabb::new(vec![1200.0, 900.0], vec![1900.0, 1800.0])),
+        Region::Box(lte::geom::Aabb::new(
+            vec![1200.0, 900.0],
+            vec![1900.0, 1800.0],
+        )),
     ]);
     let bright = {
         let u = schema.attr(4).expect("sky_u");
@@ -98,7 +101,11 @@ fn main() {
         kernel: Kernel::rbf_for_dim(6),
         ..SvmConfig::default()
     };
-    let model = dsm.explore(&norm_pool, &|i: usize, _: &[f64]| truth.label(&pool[i]), budget);
+    let model = dsm.explore(
+        &norm_pool,
+        &|i: usize, _: &[f64]| truth.label(&pool[i]),
+        budget,
+    );
     let cm = ConfusionMatrix::from_pairs(
         norm_pool
             .iter()

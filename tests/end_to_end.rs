@@ -21,12 +21,8 @@ fn pool(table: &Table, n: usize) -> Vec<Vec<f64>> {
 #[test]
 fn sdss_offline_online_all_variants() {
     let dataset = Dataset::sdss(6_000, 1);
-    let (pipeline, report) = LtePipeline::offline(
-        &dataset.table,
-        decompose_sequential(4, 2),
-        test_config(),
-        1,
-    );
+    let (pipeline, report) =
+        LtePipeline::offline(&dataset.table, decompose_sequential(4, 2), test_config(), 1);
     assert_eq!(pipeline.contexts().len(), 2);
     assert!(report.train_seconds > 0.0);
 
@@ -52,12 +48,8 @@ fn sdss_offline_online_all_variants() {
 #[test]
 fn car_exploration_is_better_than_chance() {
     let dataset = Dataset::car(5_000, 2);
-    let (pipeline, _) = LtePipeline::offline(
-        &dataset.table,
-        decompose_sequential(4, 2),
-        test_config(),
-        2,
-    );
+    let (pipeline, _) =
+        LtePipeline::offline(&dataset.table, decompose_sequential(4, 2), test_config(), 2);
     let truth = pipeline.generate_truth(UisMode::new(2, 8), 11, 0.25, 0.9);
     let rows = pool(&dataset.table, 800);
     let sel = truth.selectivity(&rows);
@@ -114,8 +106,7 @@ fn budget_retargeting_changes_initial_tuples() {
     let dataset = Dataset::sdss(4_000, 5);
     let cfg55 = test_config().with_budget(55);
     assert_eq!(cfg55.budget(), 55);
-    let (pipeline, _) =
-        LtePipeline::offline(&dataset.table, decompose_sequential(2, 2), cfg55, 5);
+    let (pipeline, _) = LtePipeline::offline(&dataset.table, decompose_sequential(2, 2), cfg55, 5);
     let truth = pipeline.generate_truth(UisMode::new(4, 8), 5, 0.2, 0.9);
     let rows = pool(&dataset.table, 300);
     let outcome = pipeline.explore(&truth, &rows, Variant::Meta, 8);

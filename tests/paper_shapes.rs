@@ -42,12 +42,7 @@ fn avg_f1(
 #[test]
 fn meta_star_beats_basic_on_generalized_uis() {
     let dataset = Dataset::sdss(10_000, 21);
-    let (pipeline, _) = LtePipeline::offline(
-        &dataset.table,
-        decompose_sequential(2, 2),
-        cfg(),
-        21,
-    );
+    let (pipeline, _) = LtePipeline::offline(&dataset.table, decompose_sequential(2, 2), cfg(), 21);
     let rows: Vec<Vec<f64>> = pipeline.contexts()[0].sample_rows().to_vec();
     let mode = UisMode::new(4, 8);
     let star = avg_f1(&pipeline, mode, &rows, Variant::MetaStar, 6);
@@ -63,12 +58,7 @@ fn meta_star_beats_basic_on_generalized_uis() {
 #[test]
 fn meta_beats_basic_on_average() {
     let dataset = Dataset::sdss(10_000, 22);
-    let (pipeline, _) = LtePipeline::offline(
-        &dataset.table,
-        decompose_sequential(2, 2),
-        cfg(),
-        22,
-    );
+    let (pipeline, _) = LtePipeline::offline(&dataset.table, decompose_sequential(2, 2), cfg(), 22);
     let rows: Vec<Vec<f64>> = pipeline.contexts()[0].sample_rows().to_vec();
     let mode = UisMode::new(4, 8);
     let meta = avg_f1(&pipeline, mode, &rows, Variant::Meta, 8);
@@ -150,12 +140,8 @@ fn dsm_degrades_with_dimensionality_and_meta_star_wins_high_d() {
 #[test]
 fn online_cost_meta_flat_dsm_grows() {
     let dataset = Dataset::sdss(10_000, 25);
-    let (pipeline30, _) = LtePipeline::offline(
-        &dataset.table,
-        decompose_sequential(4, 2),
-        cfg(),
-        25,
-    );
+    let (pipeline30, _) =
+        LtePipeline::offline(&dataset.table, decompose_sequential(4, 2), cfg(), 25);
     let rows: Vec<Vec<f64>> = (0..600)
         .map(|i| dataset.table.row(i).expect("row"))
         .collect();

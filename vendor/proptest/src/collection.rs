@@ -1,0 +1,58 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::{SizeRange, Strategy, TestRng};
+
+/// A `Vec` whose length is drawn from `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_exact_and_ranged_sizes() {
+        let mut rng = TestRng::for_case("vec_sizes", 0);
+        let exact = vec(0usize..5, 3);
+        for _ in 0..50 {
+            assert_eq!(exact.generate(&mut rng).len(), 3);
+        }
+        let ranged = vec(0usize..5, 1..4);
+        for _ in 0..200 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn nests() {
+        let mut rng = TestRng::for_case("vec_nest", 0);
+        let grid = vec(vec(-1.0..1.0f64, 2), 1..6);
+        for _ in 0..100 {
+            let rows = grid.generate(&mut rng);
+            assert!(!rows.is_empty() && rows.len() < 6);
+            assert!(rows.iter().all(|r| r.len() == 2));
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Vendored mini property-testing framework.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! reimplements the slice of `proptest`'s API that the workspace's
+//! `tests/properties.rs` files use:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`],
+//! * range strategies (`-100.0..100.0f64`, `1usize..8`, ...), tuple
+//!   strategies, [`Just`], [`bool::ANY`](crate::bool::ANY),
+//! * [`collection::vec`] with exact or ranged sizes,
+//! * [`sample::subsequence`],
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` support and
+//!   the `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` family.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (derived from the test's module path and name), and there
+//! is **no shrinking** — a failing case reports its case index so it can be
+//! replayed, but is not minimised.
+
+use rand::Rng;
+
+pub mod collection;
+pub mod sample;
+pub mod test_runner;
+
+pub use test_runner::TestRng;
+
+/// Everything a property-test file needs; mirrors `proptest::prelude`.
+pub mod prelude {
+    /// Alias of the crate root so `prop::bool::ANY` etc. resolve.
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases: smaller than upstream's 256 so the full suite stays fast,
+    /// large enough to exercise each invariant broadly every run.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed `prop_assert!`; bubbles out of the test body as an `Err`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Generates values of an associated type from a [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy that post-processes this one's values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Strategies over `bool`, mirroring `proptest::bool`.
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform `bool` strategy type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `true` / `false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.random()
+        }
+    }
+}
+
+/// A count or range of counts, for sized strategies like [`collection::vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.random_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// The `proptest!` macro: a block of `#[test]` functions whose arguments
+/// are drawn from strategies.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// // Without a `#[test]` attribute the macro emits a plain function; in a
+/// // real test file write `#[test]` above `fn` inside the block.
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __test_name = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(__test_name, __case as u64);
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        __test_name, __case, __config.cases, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fail the current proptest case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Fail the current proptest case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "left = {:?}, right = {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "left = {:?}, right = {:?}: {}", l, r, format!($($fmt)+));
+    }};
+}
+
+/// Fail the current proptest case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "both = {:?}", l);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = crate::TestRng::for_case("ranges_generate_in_bounds", 0);
+        for _ in 0..1_000 {
+            let x = (0usize..10).generate(&mut rng);
+            assert!(x < 10);
+            let y = (-1.0..1.0f64).generate(&mut rng);
+            assert!((-1.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let doubled = (1usize..5).prop_map(|x| x * 2);
+        let mut rng = crate::TestRng::for_case("prop_map_applies", 0);
+        for _ in 0..100 {
+            let v = doubled.generate(&mut rng);
+            assert!(v % 2 == 0 && (2..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let strat = (0usize..3, -1.0..0.0f64, crate::bool::ANY);
+        let mut rng = crate::TestRng::for_case("tuples", 0);
+        for _ in 0..100 {
+            let (a, b, _c) = strat.generate(&mut rng);
+            assert!(a < 3);
+            assert!((-1.0..0.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn just_yields_the_value() {
+        let mut rng = crate::TestRng::for_case("just", 0);
+        assert_eq!(Just(41usize).generate(&mut rng), 41);
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let a: Vec<usize> = (0..20)
+            .map(|i| (0usize..1000).generate(&mut crate::TestRng::for_case("t", i)))
+            .collect();
+        let b: Vec<usize> = (0..20)
+            .map(|i| (0usize..1000).generate(&mut crate::TestRng::for_case("t", i)))
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<usize> = (0..20)
+            .map(|i| (0usize..1000).generate(&mut crate::TestRng::for_case("other", i)))
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The macro itself: bodies run, assertions hold, tuples destructure.
+        #[test]
+        fn macro_end_to_end((a, b) in (0i64..50, 0i64..50), flag in prop::bool::ANY) {
+            prop_assert!(a + b >= a.min(b));
+            prop_assert_eq!(a + b, b + a);
+            if flag {
+                prop_assert_ne!(a - 1, a);
+            }
+        }
+    }
+
+    proptest! {
+        /// Default-config path of the macro.
+        #[test]
+        fn macro_default_config(x in 0usize..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

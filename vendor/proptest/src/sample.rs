@@ -1,0 +1,75 @@
+//! Sampling strategies, mirroring `proptest::sample`.
+
+use crate::{SizeRange, Strategy, TestRng};
+use rand::Rng;
+
+/// A strategy yielding order-preserving subsequences of `items`, with
+/// length drawn from `size`.
+///
+/// Panics (on generation) if `size` can exceed `items.len()`.
+pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        items,
+        size: size.into(),
+    }
+}
+
+/// See [`subsequence`].
+#[derive(Debug, Clone)]
+pub struct Subsequence<T> {
+    items: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let n = self.size.pick(rng);
+        assert!(
+            n <= self.items.len(),
+            "subsequence of {} from {} items",
+            n,
+            self.items.len()
+        );
+        // Floyd's algorithm: n distinct indices, then emit in order.
+        let len = self.items.len();
+        let mut chosen = vec![false; len];
+        for j in len - n..len {
+            let t = rng.random_range(0..=j);
+            if chosen[t] {
+                chosen[j] = true;
+            } else {
+                chosen[t] = true;
+            }
+        }
+        self.items
+            .iter()
+            .zip(&chosen)
+            .filter(|(_, &c)| c)
+            .map(|(item, _)| item.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsequences_are_ordered_and_sized() {
+        let mut rng = TestRng::for_case("subseq", 0);
+        let strat = subsequence(vec![0usize, 1, 2, 3, 4], 1..=5);
+        for _ in 0..300 {
+            let s = strat.generate(&mut rng);
+            assert!((1..=5).contains(&s.len()));
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "not ordered: {s:?}");
+        }
+    }
+
+    #[test]
+    fn full_size_returns_everything() {
+        let mut rng = TestRng::for_case("subseq_full", 0);
+        let strat = subsequence(vec![7usize, 8, 9], 3);
+        assert_eq!(strat.generate(&mut rng), vec![7, 8, 9]);
+    }
+}

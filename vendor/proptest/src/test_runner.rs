@@ -1,0 +1,40 @@
+//! Deterministic per-case RNG for property tests.
+
+use rand::{RngCore, SeedableRng, StdRng};
+
+/// FNV-1a, so each test gets a stable seed derived from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The RNG handed to [`Strategy::generate`](crate::Strategy::generate).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the test named `name`. The same
+    /// (name, case) pair always produces the same stream, so failures
+    /// reproduce across runs without a persistence file.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let seed = fnv1a(name.as_bytes()) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
