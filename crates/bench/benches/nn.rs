@@ -32,5 +32,47 @@ fn bench_nn(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_nn);
+/// Pool scoring at serving scale: 4096 tuples × 64 features through one
+/// shared classifier. The per-point loop is the pre-batching online path
+/// (one `logit` call per tuple, with its forward-cache allocations); the
+/// batched pass is what `explore_subspace` now runs. The batch form must be
+/// at least ~2× faster here — it agrees with the per-point logits to within
+/// rounding (the conversion split regroups one sum; see
+/// `UisClassifier::logits_batch`), so the win is overhead removal plus the
+/// 8-column matmul kernel, never different predictions.
+fn bench_pool_scoring(c: &mut Criterion) {
+    let cfg = ClassifierConfig {
+        ku: 40,
+        nr: 64,
+        ne: 64,
+        clf_hidden: 64,
+        use_conversion: true,
+    };
+    let mut rng = seeded(1);
+    let clf = UisClassifier::new(cfg, &mut rng);
+    let v_r: Vec<f64> = (0..40).map(|i| (i % 2) as f64).collect();
+    let pool: Vec<Vec<f64>> = (0..4096)
+        .map(|i| {
+            (0..64)
+                .map(|j| ((i * 64 + j) as f64 * 0.013).sin())
+                .collect()
+        })
+        .collect();
+
+    c.bench_function("pool_scoring_per_point_4096x64", |b| {
+        b.iter(|| {
+            let scores: Vec<f64> = pool
+                .iter()
+                .map(|row| clf.logit(black_box(&v_r), black_box(row)))
+                .collect();
+            scores[0]
+        });
+    });
+
+    c.bench_function("pool_scoring_batched_4096x64", |b| {
+        b.iter(|| clf.logits_batch(black_box(&v_r), black_box(&pool))[0]);
+    });
+}
+
+criterion_group!(benches, bench_nn, bench_pool_scoring);
 criterion_main!(benches);

@@ -23,6 +23,7 @@ fn main() {
     experiments::fig7::run(&env, out);
     experiments::table2::run(&env, out);
     experiments::fig8::run(&env, out);
+    experiments::throughput::run(&env, out);
 
     println!(
         "\nall experiments regenerated in {:.1} min",

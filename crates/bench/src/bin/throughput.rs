@@ -1,0 +1,17 @@
+//! Serving-throughput sweep (see lte_bench::experiments::throughput).
+
+use lte_bench::{cli::Options, env::BenchEnv};
+
+fn main() {
+    let opts = Options::parse();
+    let env = BenchEnv::from_options(&opts);
+    let out = opts.out.as_deref();
+    match opts.subcommand() {
+        None => lte_bench::experiments::throughput::run(&env, out),
+        Some(sub) => dispatch(&env, out, sub),
+    }
+}
+
+fn dispatch(env: &BenchEnv, out: Option<&std::path::Path>, sub: &str) {
+    lte_bench::experiments::throughput::subcommand(env, out, sub);
+}

@@ -11,7 +11,7 @@
 use crate::env::BenchEnv;
 use crate::report::{fmt_secs, Report};
 use crate::runner::TruthPolicy;
-use crate::runner::{average_over_truths, build_cell, run_dsm, run_lte};
+use crate::runner::{average_over_truths_counted, build_cell, run_dsm, run_lte};
 use lte_core::explore::Variant;
 use lte_data::rng::derive_seed;
 use std::path::Path;
@@ -43,13 +43,12 @@ pub fn run(env: &BenchEnv, out: Option<&Path>) {
             // Average seconds over truths (F1 ignored here).
             let mut dsm_secs = 0.0;
             let mut meta_secs = 0.0;
-            let reps = env.reps;
-            average_over_truths(
+            let (_, runs) = average_over_truths_counted(
                 &cell.pipeline,
                 mode,
                 TruthPolicy::default(),
                 &cell.pool,
-                reps,
+                env.reps,
                 seed,
                 |t, s| {
                     dsm_secs +=
@@ -59,7 +58,11 @@ pub fn run(env: &BenchEnv, out: Option<&Path>) {
                     0.0
                 },
             );
-            col.push((dsm_secs / reps as f64, meta_secs / reps as f64));
+            // Divide by the repetitions actually run: a degenerate cell can
+            // accept fewer than `env.reps` truths, and dividing by `reps`
+            // would under-report per-truth online seconds.
+            let runs = runs.max(1) as f64;
+            col.push((dsm_secs / runs, meta_secs / runs));
         }
         columns.push(col);
     }

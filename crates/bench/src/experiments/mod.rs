@@ -1,7 +1,7 @@
-//! One module per §VIII table/figure. Each exposes `run(&BenchEnv,
-//! Option<&Path>)` printing the reproduction table (and writing CSV when an
-//! output directory is given); the thin binaries in `src/bin/` and the
-//! `run_all` binary call these.
+//! One module per §VIII table/figure, plus the [`throughput`] serving
+//! sweep. Each exposes `run(&BenchEnv, Option<&Path>)` printing the
+//! reproduction table (and writing CSV when an output directory is given);
+//! the thin binaries in `src/bin/` and the `run_all` binary call these.
 
 pub mod fig4;
 pub mod fig5;
@@ -9,3 +9,4 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod table2;
+pub mod throughput;

@@ -1,0 +1,79 @@
+//! Serving throughput: concurrent sessions/sec and round-latency
+//! percentiles of the `lte-serve` session engine.
+//!
+//! Not a paper figure — this measures the ROADMAP's serving north star.
+//! One meta-trained pipeline is shared (read-only) by every session, the
+//! engine fans sessions across a worker pool, and each row reports one
+//! worker count: completed sessions per second plus p50/p95 latency of a
+//! *round* (one subspace's labelling round: fast adaptation + batched pool
+//! prediction). The paper's claim that online cost is a handful of gradient
+//! steps (§VIII-B, Fig. 6) is what makes the rounds cheap enough for the
+//! engine to sustain many analysts at once.
+
+use crate::env::BenchEnv;
+use crate::report::{fmt_secs, Report};
+use crate::runner::{build_cell, default_threads};
+use lte_core::explore::Variant;
+use lte_data::rng::derive_seed;
+use lte_serve::SessionEngine;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Sessions per batch at each worker count.
+const SESSIONS: usize = 16;
+
+/// Run the serving-throughput sweep.
+pub fn run(env: &BenchEnv, out: Option<&Path>) {
+    let cell = build_cell(
+        env,
+        "sdss",
+        4,
+        30,
+        env.convex_mode(),
+        derive_seed(env.seed, 900),
+    );
+    let pipeline = Arc::new(cell.pipeline);
+
+    let mut workers: Vec<usize> = vec![1, 2, 4, default_threads()];
+    workers.retain(|&w| w <= default_threads());
+    workers.dedup();
+
+    let mut report = Report::new(
+        format!("Serving throughput ({SESSIONS} Meta* sessions, SDSS 4D)"),
+        &["workers", "sessions/s", "round p50", "round p95", "wall"],
+    );
+    for &w in &workers {
+        let engine = SessionEngine::with_workers(Arc::clone(&pipeline), w);
+        let requests = engine.simulate_requests(
+            SESSIONS,
+            env.convex_mode(),
+            0.2,
+            0.9,
+            Variant::MetaStar,
+            derive_seed(env.seed, 910),
+        );
+        let (_, stats) = engine.run_with_stats(requests, &cell.pool);
+        report.push_row(vec![
+            w.to_string(),
+            format!("{:.1}", stats.sessions_per_sec),
+            fmt_secs(stats.round_p50_seconds),
+            fmt_secs(stats.round_p95_seconds),
+            fmt_secs(stats.wall_seconds),
+        ]);
+    }
+    report.print();
+    if let Some(dir) = out {
+        let _ = report.write_csv(dir);
+    }
+}
+
+/// Dispatch a CLI subcommand; unknown names list the options and exit.
+pub fn subcommand(env: &BenchEnv, out: Option<&Path>, sub: &str) {
+    match sub {
+        "all" => run(env, out),
+        other => {
+            eprintln!("unknown subcommand `{other}`; available: all");
+            std::process::exit(2);
+        }
+    }
+}

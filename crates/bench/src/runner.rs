@@ -291,8 +291,25 @@ pub fn average_over_truths(
     pool: &[Vec<f64>],
     reps: usize,
     seed: u64,
-    mut f: impl FnMut(&ConjunctiveOracle, u64) -> f64,
+    f: impl FnMut(&ConjunctiveOracle, u64) -> f64,
 ) -> f64 {
+    average_over_truths_counted(pipeline, mode, policy, pool, reps, seed, f).0
+}
+
+/// [`average_over_truths`] that also reports how many repetitions actually
+/// ran. With a degenerate selectivity floor the retry allowance can exhaust
+/// before `reps` truths are accepted; callers that divide *accumulated*
+/// per-repetition measurements (e.g. fig6's timing columns) must divide by
+/// this count, not by `reps`, or they under-report per-truth values.
+pub fn average_over_truths_counted(
+    pipeline: &LtePipeline,
+    mode: UisMode,
+    policy: TruthPolicy,
+    pool: &[Vec<f64>],
+    reps: usize,
+    seed: u64,
+    mut f: impl FnMut(&ConjunctiveOracle, u64) -> f64,
+) -> (f64, usize) {
     let mut total = 0.0;
     let mut n = 0usize;
     let mut attempt = 0u64;
@@ -307,53 +324,16 @@ pub fn average_over_truths(
         n += 1;
     }
     if n == 0 {
-        0.0
+        (0.0, 0)
     } else {
-        total / n as f64
+        (total / n as f64, n)
     }
 }
 
-/// Run jobs across worker threads (index-preserving). Uses a mutex-guarded
-/// iterator as the work queue; `threads` is clamped to the job count.
-pub fn parallel_map<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
-where
-    I: Send,
-    O: Send,
-    F: Fn(I) -> O + Sync,
-{
-    let n = inputs.len();
-    let threads = threads.clamp(1, n.max(1));
-    if threads <= 1 {
-        return inputs.into_iter().map(f).collect();
-    }
-    let queue = std::sync::Mutex::new(inputs.into_iter().enumerate());
-    let outputs = std::sync::Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                // Take the lock only to pop; run the job outside it.
-                let next = queue.lock().expect("queue poisoned").next();
-                match next {
-                    Some((i, input)) => {
-                        let out = f(input);
-                        outputs.lock().expect("outputs poisoned").push((i, out));
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    let mut results = outputs.into_inner().expect("outputs poisoned");
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, o)| o).collect()
-}
-
-/// Default worker count: leave nothing idle but respect tiny machines.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+// The worker pool lives in `lte_core::parallel` so the serving engine and
+// this harness share one implementation; re-exported here because every
+// experiment module imports it from the runner.
+pub use lte_core::parallel::{default_threads, parallel_map};
 
 /// Convenience bundle: pipeline + shared pool for a (dataset, dims, budget)
 /// cell of an experiment grid.
@@ -454,6 +434,68 @@ mod tests {
         let svmr = run_initial_tuple_svm(&pipeline, &truth, &pool, true, 18);
         assert!(svm.f1.is_finite());
         assert!(svmr.f1.is_finite());
+    }
+
+    /// Regression for the fig6 timing quirk: with a selectivity floor that
+    /// rejects most truths, accumulated per-repetition seconds must be
+    /// divided by the repetitions *actually run* — the old code divided by
+    /// `reps` and under-reported per-truth online time.
+    #[test]
+    fn degenerate_floor_divides_by_actual_runs() {
+        let env = tiny_env();
+        let cfg = fast_cfg(&env, 30);
+        let (pipeline, _) = build_pipeline(&env.sdss.table, 2, cfg, 31);
+        let pool = eval_pool(&env.sdss.table, 200, 32);
+        let seed = 33u64;
+        let mode = env.convex_mode();
+        let base = TruthPolicy::default();
+
+        // Selectivity of every truth the retry loop can generate, in the
+        // exact attempt order `average_over_truths_counted` uses.
+        let sels: Vec<f64> = (0..60u64)
+            .map(|a| gen_truth(&pipeline, mode, base, derive_seed(seed, a)).selectivity(&pool))
+            .collect();
+        let mut distinct = sels.clone();
+        distinct.sort_by(f64::total_cmp);
+        distinct.dedup();
+        assert!(distinct.len() >= 2, "need at least two selectivity levels");
+
+        // Pick a (reps, floor) pair under which the retry allowance
+        // (`reps * 10` attempts) exhausts with 0 < accepted < reps truths —
+        // selectivity over a finite pool is quantized, so floors sit between
+        // adjacent distinct levels.
+        let mut chosen = None;
+        'outer: for reps in 2..=6usize {
+            let cap = (reps * 10).min(sels.len());
+            for w in distinct.windows(2).rev() {
+                let floor = (w[0] + w[1]) / 2.0;
+                let accepted = sels[..cap].iter().filter(|&&s| s >= floor).count();
+                if accepted > 0 && accepted < reps {
+                    chosen = Some((reps, floor, accepted));
+                    break 'outer;
+                }
+            }
+        }
+        let (reps, floor, expected) = chosen.expect("some floor yields partial acceptance");
+        let policy = TruthPolicy {
+            uir_min: floor,
+            ..base
+        };
+        // fig6's accumulation pattern: each accepted truth adds 1.0 "secs".
+        let mut secs = 0.0;
+        let (_, runs) =
+            average_over_truths_counted(&pipeline, mode, policy, &pool, reps, seed, |_t, _s| {
+                secs += 1.0;
+                0.0
+            });
+        assert_eq!(runs, expected, "accepted-truth count disagrees");
+        // Correct per-truth seconds divide by `runs` (1.0 s per truth);
+        // dividing by `reps` (the old fig6 divisor) under-reports.
+        assert!((secs / runs as f64 - 1.0).abs() < 1e-12);
+        assert!(
+            (secs / reps as f64 - 1.0).abs() > 0.1,
+            "old divisor would have passed"
+        );
     }
 
     #[test]

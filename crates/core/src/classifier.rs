@@ -208,6 +208,58 @@ impl UisClassifier {
         self.forward(v_r, v_t).logit
     }
 
+    /// Batched inference: logits for many tuples sharing one UIS feature
+    /// vector — the pool-scoring shape of the online phase, where a whole
+    /// retrieval pool is predicted against a single user's `vR`.
+    ///
+    /// The UIS embedding is computed once, the tuple embeddings and
+    /// classification run as one [`Mlp::forward_batch`] pass per block, and
+    /// the conversion (when present) splits into a pool-constant left half
+    /// plus one batched product: `Mcp·[embR | embτ] = Mcp_L·embR +
+    /// Mcp_R·embτ`, where `Mcp_L·embR` is shared by every tuple. Every
+    /// logit agrees with [`UisClassifier::logit`] on the same tuple to
+    /// within rounding (the split regroups the conversion sum), depends
+    /// only on its own tuple, and is deterministic — batch composition
+    /// never changes a tuple's logit.
+    ///
+    /// # Panics
+    /// Panics when input widths disagree with the architecture.
+    pub fn logits_batch(&self, v_r: &[f64], tuples: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(v_r.len(), self.cfg.ku, "vR width mismatch");
+        let x = Matrix::from_rows(tuples, self.cfg.nr);
+        let r_emb = self.r_block.forward(v_r);
+        let t_emb = self.t_block.forward_batch(&x);
+        let ne = self.cfg.ne;
+
+        let clf_in = match &self.conversion {
+            Some(mcp) => {
+                // r_const = Mcp_L·embR (constant over the pool); Mcp_R as
+                // its own matrix so the batch product is embτ·Mcp_Rᵀ.
+                let mut r_const = vec![0.0; ne];
+                let mut mcp_right = Matrix::zeros(ne, ne);
+                for (i, rc) in r_const.iter_mut().enumerate() {
+                    let row = mcp.row(i);
+                    *rc = lte_nn::matrix::dot(&row[..ne], &r_emb);
+                    mcp_right.row_mut(i).copy_from_slice(&row[ne..]);
+                }
+                let mut z = t_emb.matmul_nt(&mcp_right);
+                z.add_row_bias(&r_const);
+                z
+            }
+            None => {
+                // Per-row concatenation [embR | embτ] with embR broadcast.
+                let mut concat = Matrix::zeros(tuples.len(), 2 * ne);
+                for r in 0..tuples.len() {
+                    let row = concat.row_mut(r);
+                    row[..ne].copy_from_slice(&r_emb);
+                    row[ne..].copy_from_slice(t_emb.row(r));
+                }
+                concat
+            }
+        };
+        self.clf_block.forward_batch(&clf_in).data().to_vec()
+    }
+
     /// Convenience: hard prediction (`logit > 0`).
     pub fn predict(&self, v_r: &[f64], v_t: &[f64]) -> bool {
         self.logit(v_r, v_t) > 0.0
@@ -448,6 +500,34 @@ mod tests {
                 (numeric - analytic).abs() < 1e-5,
                 "Mcp[{idx}]: numeric {numeric} vs analytic {analytic}"
             );
+        }
+    }
+
+    #[test]
+    fn logits_batch_matches_per_point() {
+        for use_conv in [false, true] {
+            let mut rng = seeded(6);
+            let c = UisClassifier::new(cfg(use_conv), &mut rng);
+            let v_r: Vec<f64> = (0..8).map(|i| ((i * i) % 3) as f64 * 0.5).collect();
+            let tuples: Vec<Vec<f64>> = (0..23)
+                .map(|i| (0..6).map(|j| ((i * 6 + j) as f64 * 0.17).sin()).collect())
+                .collect();
+            let batch = c.logits_batch(&v_r, &tuples);
+            assert_eq!(batch.len(), tuples.len());
+            for (i, t) in tuples.iter().enumerate() {
+                let solo = c.logit(&v_r, t);
+                assert!(
+                    (batch[i] - solo).abs() <= 1e-12,
+                    "conversion={use_conv}, tuple {i}: {} vs {solo}",
+                    batch[i]
+                );
+            }
+            assert!(c.logits_batch(&v_r, &[]).is_empty());
+            // Batch composition never changes a tuple's logit.
+            let half = c.logits_batch(&v_r, &tuples[..11]);
+            for (a, b) in half.iter().zip(&batch) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

@@ -138,13 +138,11 @@ pub fn explore_subspace(
         }
     };
 
-    let mut scores = Vec::with_capacity(eval_rows.len());
-    let mut predictions = Vec::with_capacity(eval_rows.len());
-    for row in eval_rows {
-        let logit = classifier.logit(&v_r, &ctx.encode(row));
-        scores.push(logit);
-        predictions.push(logit > 0.0);
-    }
+    // Batched pool scoring: encode the pool, then one forward_batch pass
+    // per block instead of a per-point dispatch loop.
+    let encoded: Vec<Vec<f64>> = eval_rows.iter().map(|row| ctx.encode(row)).collect();
+    let scores = classifier.logits_batch(&v_r, &encoded);
+    let mut predictions: Vec<bool> = scores.iter().map(|&logit| logit > 0.0).collect();
 
     // (6) Few-shot optimizer for Meta*.
     if variant == Variant::MetaStar {

@@ -47,6 +47,7 @@ pub mod meta_learner;
 pub mod meta_task;
 pub mod metrics;
 pub mod oracle;
+pub mod parallel;
 pub mod persist;
 pub mod pipeline;
 pub mod refine;

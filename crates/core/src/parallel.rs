@@ -1,0 +1,82 @@
+//! A dependency-free worker pool shared by the serving engine
+//! (`lte-serve`) and the bench harness (`lte-bench`).
+//!
+//! [`parallel_map`] fans a job list across scoped threads through a
+//! mutex-guarded work queue and returns outputs in input order, so results
+//! are **independent of the worker count and of scheduling**: running the
+//! same jobs at 1 worker or at [`default_threads`] workers produces
+//! byte-identical output vectors as long as each job is itself
+//! deterministic. The serving engine's multi-session determinism guarantee
+//! rests on this property.
+
+/// Run jobs across worker threads (index-preserving). Uses a mutex-guarded
+/// iterator as the work queue; `threads` is clamped to the job count.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = inputs.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let queue = std::sync::Mutex::new(inputs.into_iter().enumerate());
+    let outputs = std::sync::Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // Take the lock only to pop; run the job outside it.
+                let next = queue.lock().expect("queue poisoned").next();
+                match next {
+                    Some((i, input)) => {
+                        let out = f(input);
+                        outputs.lock().expect("outputs poisoned").push((i, out));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    let mut results = outputs.into_inner().expect("outputs poisoned");
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, o)| o).collect()
+}
+
+/// Default worker count: leave nothing idle but respect tiny machines.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..50).collect::<Vec<_>>(), 4, |x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+        let out = parallel_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        let empty: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output() {
+        let inputs: Vec<u64> = (0..200).collect();
+        let reference = parallel_map(inputs.clone(), 1, |x| x.wrapping_mul(0x9E37_79B9));
+        for threads in [2, 3, default_threads()] {
+            let out = parallel_map(inputs.clone(), threads, |x| x.wrapping_mul(0x9E37_79B9));
+            assert_eq!(out, reference, "{threads} workers diverged");
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

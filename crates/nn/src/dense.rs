@@ -55,6 +55,22 @@ impl Dense {
         z
     }
 
+    /// Batched forward pass: `Z = X·Wᵀ + b` with one input tuple per row of
+    /// `x` (`batch × in_dim`). Each output row agrees with
+    /// [`Dense::forward`] on the corresponding input row to within rounding
+    /// (the batch kernel sums in a different fixed grouping; see
+    /// [`Matrix::matmul_nt`]) and depends only on that input row, never on
+    /// the rest of the batch.
+    ///
+    /// # Panics
+    /// Panics when `x.cols() != in_dim()`.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "batch input width mismatch");
+        let mut z = x.matmul_nt(&self.w);
+        z.add_row_bias(&self.b);
+        z
+    }
+
     /// Backward pass. Given `dL/dz` and the cached input `x`, accumulates
     /// `dL/dW` and `dL/db` into the provided flat gradient slice (laid out
     /// `w` row-major then `b`) and returns `dL/dx`.
@@ -166,6 +182,27 @@ mod tests {
             let numeric = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * h);
             assert!((numeric - dx[i]).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn forward_batch_rows_match_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Dense::he_init(5, 4, &mut rng);
+        let rows: Vec<Vec<f64>> = (0..9)
+            .map(|i| (0..5).map(|j| ((i * 5 + j) as f64 * 0.3).sin()).collect())
+            .collect();
+        let batch = layer.forward_batch(&Matrix::from_rows(&rows, 5));
+        assert_eq!(batch.rows(), 9);
+        assert_eq!(batch.cols(), 4);
+        for (i, row) in rows.iter().enumerate() {
+            for (a, b) in batch.row(i).iter().zip(&layer.forward(row)) {
+                assert!((a - b).abs() <= 1e-12, "row {i}: {a} vs {b}");
+            }
+        }
+        // Empty batch keeps the output width.
+        let empty = layer.forward_batch(&Matrix::from_rows(&[], 5));
+        assert_eq!(empty.rows(), 0);
+        assert_eq!(empty.cols(), 4);
     }
 
     #[test]

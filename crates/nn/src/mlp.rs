@@ -10,6 +10,7 @@
 
 use crate::activation::Activation;
 use crate::dense::Dense;
+use crate::matrix::Matrix;
 use rand::Rng;
 
 /// A sequential stack of dense layers with per-layer activations.
@@ -134,6 +135,28 @@ impl Mlp {
         cur
     }
 
+    /// Batched forward pass: one input tuple per row of `x`
+    /// (`batch × in_dim`), one output per row of the result
+    /// (`batch × out_dim`). The batch form is the serving fast path: pool
+    /// scoring does one matrix product per layer instead of a per-point
+    /// `dot` loop. Each output row agrees with [`Mlp::forward`] on the
+    /// corresponding input row to within rounding (see
+    /// [`Matrix::matmul_nt`] for the summation-order caveat) and depends
+    /// only on that row — batch composition never changes a row's result.
+    ///
+    /// # Panics
+    /// Panics when `x.cols() != in_dim()`.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "batch input width mismatch");
+        let mut cur = None;
+        for (layer, act) in self.layers.iter().zip(&self.acts) {
+            let mut z = layer.forward_batch(cur.as_ref().unwrap_or(x));
+            act.apply_slice(z.data_mut());
+            cur = Some(z);
+        }
+        cur.expect("an MLP has at least one layer")
+    }
+
     /// Forward pass retaining the per-layer state needed by
     /// [`Mlp::backward`].
     pub fn forward_cache(&self, x: &[f64]) -> MlpCache {
@@ -233,6 +256,32 @@ mod tests {
         let mlp = Mlp::new(&[2, 4, 3], Activation::Relu, Activation::Sigmoid, &mut rng);
         let x = [0.3, -1.2];
         assert_eq!(mlp.forward(&x), mlp.forward_cache(&x).output());
+    }
+
+    #[test]
+    fn forward_batch_rows_match_forward() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mlp = Mlp::new(
+            &[6, 10, 4, 2],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let rows: Vec<Vec<f64>> = (0..17)
+            .map(|i| (0..6).map(|j| ((i * 6 + j) as f64 * 0.21).cos()).collect())
+            .collect();
+        let batch = mlp.forward_batch(&Matrix::from_rows(&rows, 6));
+        assert_eq!(batch.rows(), 17);
+        assert_eq!(batch.cols(), 2);
+        for (i, row) in rows.iter().enumerate() {
+            let single = mlp.forward(row);
+            for (a, b) in batch.row(i).iter().zip(&single) {
+                assert!((a - b).abs() <= 1e-12, "row {i}: {a} vs {b}");
+            }
+        }
+        let empty = mlp.forward_batch(&Matrix::from_rows(&[], 6));
+        assert_eq!(empty.rows(), 0);
+        assert_eq!(empty.cols(), 2);
     }
 
     #[test]

@@ -28,6 +28,51 @@ proptest! {
         prop_assert!(gradcheck::max_input_grad_error(&mlp, &x) < 1e-4);
     }
 
+    /// Batched inference agrees with per-row inference to within 1e-12 on
+    /// arbitrary architectures and batch sizes — the serving fast path must
+    /// never change what a classifier predicts.
+    #[test]
+    fn forward_batch_agrees_with_per_row_forward(
+        dims in arb_dims(),
+        seed in 0u64..1000,
+        batch in 0usize..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&dims, Activation::Relu, Activation::Sigmoid, &mut rng);
+        let rows: Vec<Vec<f64>> = (0..batch)
+            .map(|i| {
+                (0..dims[0])
+                    .map(|j| ((i * dims[0] + j) as f64 * 0.39 + seed as f64 * 0.01).sin())
+                    .collect()
+            })
+            .collect();
+        let out = mlp.forward_batch(&Matrix::from_rows(&rows, dims[0]));
+        prop_assert_eq!(out.rows(), batch);
+        prop_assert_eq!(out.cols(), mlp.out_dim());
+        for (i, row) in rows.iter().enumerate() {
+            let single = mlp.forward(row);
+            for (a, b) in out.row(i).iter().zip(&single) {
+                prop_assert!((a - b).abs() <= 1e-12, "row {}: {} vs {}", i, a, b);
+            }
+        }
+    }
+
+    /// Batched scoring is read-only: parameters are untouched and analytic
+    /// gradients still match finite differences afterwards.
+    #[test]
+    fn forward_batch_leaves_gradcheck_untouched(dims in arb_dims(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&dims, Activation::Tanh, Activation::Identity, &mut rng);
+        let before = mlp.params();
+        let rows: Vec<Vec<f64>> = (0..9)
+            .map(|i| (0..dims[0]).map(|j| ((i + j) as f64 * 0.23).cos()).collect())
+            .collect();
+        let _ = mlp.forward_batch(&Matrix::from_rows(&rows, dims[0]));
+        prop_assert_eq!(mlp.params(), before, "forward_batch must not mutate parameters");
+        let x: Vec<f64> = (0..dims[0]).map(|i| ((i as f64) * 0.37).sin()).collect();
+        prop_assert!(gradcheck::max_param_grad_error(&mlp, &x) < 1e-4);
+    }
+
     /// Parameter round-trips preserve network behaviour exactly.
     #[test]
     fn param_round_trip_is_identity(dims in arb_dims(), seed in 0u64..1000) {

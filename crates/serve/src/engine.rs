@@ -1,0 +1,216 @@
+//! The session engine: N concurrent online explorations over one shared
+//! pipeline.
+
+use crate::stats::ThroughputStats;
+use lte_core::explore::Variant;
+use lte_core::oracle::ConjunctiveOracle;
+use lte_core::parallel::{default_threads, parallel_map};
+use lte_core::pipeline::{LtePipeline, UirOutcome};
+use lte_core::uis::UisMode;
+use lte_data::rng::derive_seed;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One user's exploration session: who answers the labelling rounds (the
+/// oracle), which LTE variant runs, and the seed driving the session's
+/// random choices (the Δ initial tuples).
+#[derive(Debug, Clone)]
+pub struct SessionRequest {
+    /// Caller-chosen session identifier, echoed into the outcome.
+    pub id: u64,
+    /// The (simulated) user's ground-truth interest region.
+    pub truth: ConjunctiveOracle,
+    /// Which LTE variant to serve.
+    pub variant: Variant,
+    /// Session seed; two requests with equal seed, truth, and variant
+    /// produce bit-identical outcomes.
+    pub seed: u64,
+}
+
+/// The completed session: the full per-round exploration outcome plus the
+/// engine-side wall-clock.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The request's identifier.
+    pub id: u64,
+    /// The conjunctive exploration result (per-subspace rounds inside).
+    pub outcome: UirOutcome,
+    /// Wall-clock seconds of the whole session as seen by the engine
+    /// (labelling rounds + prediction, queueing excluded).
+    pub wall_seconds: f64,
+}
+
+/// A serving engine over one shared, immutable, meta-trained pipeline.
+///
+/// The pipeline sits behind an [`Arc`]: meta-trained parameters and
+/// memories are read-only at serving time (online adaptation clones the
+/// initialization per session; see [`lte_core::meta_learner::MetaLearner::adapt`]),
+/// so any number of sessions can share them without locks.
+#[derive(Debug, Clone)]
+pub struct SessionEngine {
+    pipeline: Arc<LtePipeline>,
+    workers: usize,
+}
+
+impl SessionEngine {
+    /// Engine over a shared pipeline with one worker per available core.
+    pub fn new(pipeline: Arc<LtePipeline>) -> Self {
+        Self::with_workers(pipeline, default_threads())
+    }
+
+    /// Engine with an explicit worker count (clamped to at least 1).
+    pub fn with_workers(pipeline: Arc<LtePipeline>, workers: usize) -> Self {
+        Self {
+            pipeline,
+            workers: workers.max(1),
+        }
+    }
+
+    /// The worker count in force.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared pipeline.
+    pub fn pipeline(&self) -> &LtePipeline {
+        &self.pipeline
+    }
+
+    /// Generate `n` simulated session requests: one ground-truth UIR each
+    /// (selectivity-guarded like [`LtePipeline::generate_truth`]) with
+    /// seeds derived from `base_seed`. Request `i` is identical across
+    /// calls with the same arguments — the determinism tests rely on this.
+    pub fn simulate_requests(
+        &self,
+        n: usize,
+        mode: UisMode,
+        min_sel: f64,
+        max_sel: f64,
+        variant: Variant,
+        base_seed: u64,
+    ) -> Vec<SessionRequest> {
+        (0..n)
+            .map(|i| SessionRequest {
+                id: i as u64,
+                truth: self.pipeline.generate_truth(
+                    mode,
+                    derive_seed(base_seed, 5_000 + i as u64),
+                    min_sel,
+                    max_sel,
+                ),
+                variant,
+                seed: derive_seed(base_seed, 9_000 + i as u64),
+            })
+            .collect()
+    }
+
+    /// Run every session to completion across the worker pool. Outcomes
+    /// come back **in request order** and their contents (predictions,
+    /// scores, confusion, labels) are independent of the worker count;
+    /// only the wall-clock fields vary run to run.
+    pub fn run_sessions(
+        &self,
+        requests: Vec<SessionRequest>,
+        eval_rows: &[Vec<f64>],
+    ) -> Vec<SessionOutcome> {
+        let pipeline = &self.pipeline;
+        parallel_map(requests, self.workers, move |req| {
+            let t0 = Instant::now();
+            let outcome = pipeline.explore(&req.truth, eval_rows, req.variant, req.seed);
+            SessionOutcome {
+                id: req.id,
+                outcome,
+                wall_seconds: t0.elapsed().as_secs_f64(),
+            }
+        })
+    }
+
+    /// [`SessionEngine::run_sessions`] plus aggregate throughput/latency
+    /// statistics for the batch.
+    pub fn run_with_stats(
+        &self,
+        requests: Vec<SessionRequest>,
+        eval_rows: &[Vec<f64>],
+    ) -> (Vec<SessionOutcome>, ThroughputStats) {
+        let t0 = Instant::now();
+        let outcomes = self.run_sessions(requests, eval_rows);
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = ThroughputStats::collect(&outcomes, wall, self.workers);
+        (outcomes, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lte_core::config::LteConfig;
+    use lte_data::generator::generate_sdss;
+    use lte_data::subspace::decompose_sequential;
+
+    fn tiny_pipeline() -> (Arc<LtePipeline>, Vec<Vec<f64>>) {
+        let table = generate_sdss(3000, 0);
+        let mut cfg = LteConfig::reduced();
+        cfg.train.n_tasks = 60;
+        cfg.train.epochs = 1;
+        let (p, _) = LtePipeline::offline(&table, decompose_sequential(4, 2), cfg, 5);
+        let pool: Vec<Vec<f64>> = (0..250).map(|i| table.row(i).unwrap()).collect();
+        (Arc::new(p), pool)
+    }
+
+    #[test]
+    fn eight_concurrent_sessions_match_single_session_runs() {
+        let (pipeline, pool) = tiny_pipeline();
+        let engine = SessionEngine::with_workers(Arc::clone(&pipeline), 4);
+        let requests =
+            engine.simulate_requests(8, UisMode::new(1, 10), 0.2, 0.9, Variant::Meta, 77);
+        assert_eq!(requests.len(), 8);
+
+        let outcomes = engine.run_sessions(requests.clone(), &pool);
+        assert_eq!(outcomes.len(), 8);
+        for (req, got) in requests.into_iter().zip(&outcomes) {
+            assert_eq!(req.id, got.id, "outcomes must keep request order");
+            // The exact single-session path the engine wraps.
+            let solo = pipeline.explore(&req.truth, &pool, req.variant, req.seed);
+            assert_eq!(solo.confusion, got.outcome.confusion);
+            assert_eq!(solo.labels_used, got.outcome.labels_used);
+            for (a, b) in solo
+                .subspace_outcomes
+                .iter()
+                .zip(&got.outcome.subspace_outcomes)
+            {
+                assert_eq!(a.predictions, b.predictions);
+                assert_eq!(a.cs_labels, b.cs_labels);
+                let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(
+                    bits(&a.scores),
+                    bits(&b.scores),
+                    "scores must be bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_cover_every_round() {
+        let (pipeline, pool) = tiny_pipeline();
+        let engine = SessionEngine::with_workers(Arc::clone(&pipeline), 2);
+        let requests =
+            engine.simulate_requests(5, UisMode::new(1, 10), 0.2, 0.9, Variant::MetaStar, 3);
+        let (outcomes, stats) = engine.run_with_stats(requests, &pool);
+        assert_eq!(stats.sessions, 5);
+        // One round per subspace per session.
+        assert_eq!(stats.rounds, 5 * pipeline.subspaces().len());
+        assert_eq!(stats.workers, 2);
+        assert!(stats.wall_seconds > 0.0);
+        assert!(stats.sessions_per_sec > 0.0);
+        assert!(stats.round_p95_seconds >= stats.round_p50_seconds);
+        assert!(stats.round_p50_seconds > 0.0);
+        assert_eq!(outcomes.len(), 5);
+    }
+
+    #[test]
+    fn workers_clamp_to_one() {
+        let (pipeline, _) = tiny_pipeline();
+        assert_eq!(SessionEngine::with_workers(pipeline, 0).workers(), 1);
+    }
+}

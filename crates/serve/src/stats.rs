@@ -1,0 +1,91 @@
+//! Serving throughput and latency aggregates.
+//!
+//! A **round** is one labelling round of one subspace session — a single
+//! `explore_subspace` call (initial labels, fast adaptation, pool
+//! prediction). A session over `k` subspaces contributes `k` rounds. Round
+//! latencies are the per-subspace `online_seconds` measured inside the
+//! core, so they exclude engine queueing and oracle labelling time.
+
+use crate::engine::SessionOutcome;
+
+/// Aggregate statistics of one batch of sessions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputStats {
+    /// Sessions completed.
+    pub sessions: usize,
+    /// Total rounds across all sessions (sessions × subspaces).
+    pub rounds: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Completed sessions per wall-clock second.
+    pub sessions_per_sec: f64,
+    /// Median round latency in seconds.
+    pub round_p50_seconds: f64,
+    /// 95th-percentile round latency in seconds.
+    pub round_p95_seconds: f64,
+}
+
+impl ThroughputStats {
+    /// Aggregate a finished batch.
+    pub fn collect(outcomes: &[SessionOutcome], wall_seconds: f64, workers: usize) -> Self {
+        let mut rounds: Vec<f64> = outcomes
+            .iter()
+            .flat_map(|o| o.outcome.subspace_outcomes.iter().map(|s| s.online_seconds))
+            .collect();
+        rounds.sort_by(f64::total_cmp);
+        Self {
+            sessions: outcomes.len(),
+            rounds: rounds.len(),
+            workers,
+            wall_seconds,
+            sessions_per_sec: if wall_seconds > 0.0 {
+                outcomes.len() as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            round_p50_seconds: percentile(&rounds, 50.0),
+            round_p95_seconds: percentile(&rounds, 95.0),
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} sessions / {} workers: {:.1} sessions/s, round p50 {:.2} ms, p95 {:.2} ms",
+            self.sessions,
+            self.workers,
+            self.sessions_per_sec,
+            self.round_p50_seconds * 1e3,
+            self.round_p95_seconds * 1e3,
+        )
+    }
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** slice; `p` in
+/// `[0, 100]`. Empty input yields 0.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 2.0);
+        assert_eq!(percentile(&xs, 75.0), 3.0);
+        assert_eq!(percentile(&xs, 95.0), 4.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 95.0), 7.0);
+    }
+}

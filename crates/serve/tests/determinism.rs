@@ -1,0 +1,92 @@
+//! The shared-pool determinism guarantee: running the same session set
+//! through the engine at 1 worker and at `default_threads()` workers yields
+//! byte-identical `UirOutcome` orderings (wall-clock timing fields aside).
+//! This guards the promotion of `parallel_map` into `lte_core::parallel` —
+//! any scheduling-dependent output would show up here as a bit flip.
+
+use lte_core::config::LteConfig;
+use lte_core::explore::Variant;
+use lte_core::parallel::default_threads;
+use lte_core::pipeline::{LtePipeline, UirOutcome};
+use lte_core::uis::UisMode;
+use lte_data::generator::generate_sdss;
+use lte_data::subspace::decompose_sequential;
+use lte_serve::SessionEngine;
+use std::sync::Arc;
+
+fn trained_pipeline() -> (Arc<LtePipeline>, Vec<Vec<f64>>) {
+    let table = generate_sdss(3000, 0);
+    let mut cfg = LteConfig::reduced();
+    cfg.train.n_tasks = 60;
+    cfg.train.epochs = 1;
+    let (p, _) = LtePipeline::offline(&table, decompose_sequential(4, 2), cfg, 11);
+    let pool: Vec<Vec<f64>> = (0..300).map(|i| table.row(i).unwrap()).collect();
+    (Arc::new(p), pool)
+}
+
+/// Everything deterministic in a `UirOutcome`, with floats as raw bits so
+/// comparison is exact ("byte-identical"), timing fields excluded.
+fn outcome_bytes(o: &UirOutcome) -> Vec<u64> {
+    let mut bytes = vec![
+        o.confusion.tp as u64,
+        o.confusion.fp as u64,
+        o.confusion.tn as u64,
+        o.confusion.fn_ as u64,
+        o.labels_used as u64,
+    ];
+    bytes.extend(o.per_subspace_f1.iter().map(|f| f.to_bits()));
+    for sub in &o.subspace_outcomes {
+        bytes.extend(sub.scores.iter().map(|s| s.to_bits()));
+        bytes.extend(sub.predictions.iter().map(|&p| p as u64));
+        bytes.extend(sub.cs_labels.iter().map(|&l| l as u64));
+        bytes.push(sub.labels_used as u64);
+    }
+    bytes
+}
+
+#[test]
+fn worker_count_never_changes_session_outcomes() {
+    let (pipeline, pool) = trained_pipeline();
+    let n_workers = default_threads();
+
+    for variant in [Variant::Basic, Variant::Meta, Variant::MetaStar] {
+        let serial = SessionEngine::with_workers(Arc::clone(&pipeline), 1);
+        let parallel = SessionEngine::with_workers(Arc::clone(&pipeline), n_workers);
+
+        // Identical request sets (simulate_requests is seed-deterministic).
+        let mode = UisMode::new(1, 10);
+        let reqs_a = serial.simulate_requests(10, mode, 0.2, 0.9, variant, 42);
+        let reqs_b = parallel.simulate_requests(10, mode, 0.2, 0.9, variant, 42);
+
+        let out_a = serial.run_sessions(reqs_a, &pool);
+        let out_b = parallel.run_sessions(reqs_b, &pool);
+        assert_eq!(out_a.len(), out_b.len());
+        for (a, b) in out_a.iter().zip(&out_b) {
+            assert_eq!(a.id, b.id, "{variant:?}: ordering diverged");
+            assert_eq!(
+                outcome_bytes(&a.outcome),
+                outcome_bytes(&b.outcome),
+                "{variant:?}: session {} diverged between 1 and {n_workers} workers",
+                a.id
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    let (pipeline, pool) = trained_pipeline();
+    let engine = SessionEngine::with_workers(Arc::clone(&pipeline), default_threads());
+    let mode = UisMode::new(4, 8);
+    let first = engine.run_sessions(
+        engine.simulate_requests(6, mode, 0.2, 0.9, Variant::MetaStar, 7),
+        &pool,
+    );
+    let second = engine.run_sessions(
+        engine.simulate_requests(6, mode, 0.2, 0.9, Variant::MetaStar, 7),
+        &pool,
+    );
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(outcome_bytes(&a.outcome), outcome_bytes(&b.outcome));
+    }
+}

@@ -1,0 +1,56 @@
+//! Serving a persisted model: a pipeline (meta-learners included) saved via
+//! `lte_core::persist`, reloaded, and served by the engine must produce the
+//! same predictions as the in-memory original — the train-once /
+//! serve-forever deployment shape.
+
+use lte_core::config::LteConfig;
+use lte_core::explore::Variant;
+use lte_core::persist::{pipeline_from_bytes, pipeline_to_bytes};
+use lte_core::pipeline::LtePipeline;
+use lte_core::uis::UisMode;
+use lte_data::generator::generate_sdss;
+use lte_data::subspace::decompose_sequential;
+use lte_serve::SessionEngine;
+use std::sync::Arc;
+
+#[test]
+fn reloaded_pipeline_serves_identical_predictions() {
+    let table = generate_sdss(3000, 0);
+    let mut cfg = LteConfig::reduced();
+    cfg.train.n_tasks = 60;
+    cfg.train.epochs = 1;
+    let (original, _) = LtePipeline::offline(&table, decompose_sequential(4, 2), cfg, 23);
+    let pool: Vec<Vec<f64>> = (0..300).map(|i| table.row(i).unwrap()).collect();
+
+    let reloaded = pipeline_from_bytes(&pipeline_to_bytes(&original)).expect("round trip");
+
+    let engine_mem = SessionEngine::with_workers(Arc::new(original), 2);
+    let engine_disk = SessionEngine::with_workers(Arc::new(reloaded), 2);
+
+    for variant in [Variant::Basic, Variant::Meta, Variant::MetaStar] {
+        // Truths regenerate identically because contexts round-trip too.
+        let mode = UisMode::new(1, 10);
+        let reqs_mem = engine_mem.simulate_requests(4, mode, 0.2, 0.9, variant, 99);
+        let reqs_disk = engine_disk.simulate_requests(4, mode, 0.2, 0.9, variant, 99);
+
+        let out_mem = engine_mem.run_sessions(reqs_mem, &pool);
+        let out_disk = engine_disk.run_sessions(reqs_disk, &pool);
+        for (a, b) in out_mem.iter().zip(&out_disk) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.outcome.confusion, b.outcome.confusion,
+                "{variant:?}: confusion diverged after persist round trip"
+            );
+            for (sa, sb) in a
+                .outcome
+                .subspace_outcomes
+                .iter()
+                .zip(&b.outcome.subspace_outcomes)
+            {
+                assert_eq!(sa.predictions, sb.predictions, "{variant:?}");
+                let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&sa.scores), bits(&sb.scores), "{variant:?}");
+            }
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`preprocess`] | `lte-preprocess` | GMM / Jenks multi-modal attribute encoding |
 //! | [`baselines`] | `lte-baselines` | SMO SVM, AL-SVM, factorized DSM |
 //! | [`core`] | `lte-core` | meta-tasks, memory-augmented meta-learning, pipeline |
+//! | [`serve`] | `lte-serve` | concurrent multi-session exploration engine |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ pub use lte_data as data;
 pub use lte_geom as geom;
 pub use lte_nn as nn;
 pub use lte_preprocess as preprocess;
+pub use lte_serve as serve;
 
 /// Everything needed for the common exploration workflow.
 pub mod prelude {
@@ -60,4 +62,5 @@ pub mod prelude {
     pub use lte_data::subspace::{decompose_random, decompose_sequential, Subspace};
     pub use lte_data::{Dataset, Table};
     pub use lte_geom::{Region, RegionUnion};
+    pub use lte_serve::{SessionEngine, SessionOutcome, SessionRequest, ThroughputStats};
 }

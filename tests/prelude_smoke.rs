@@ -22,6 +22,10 @@ fn prelude_types_resolve(
     _table: Table,
     _region: Region,
     _union: RegionUnion,
+    _engine: SessionEngine,
+    _session_request: SessionRequest,
+    _session_outcome: SessionOutcome,
+    _throughput: ThroughputStats,
 ) {
 }
 
@@ -47,6 +51,7 @@ fn module_aliases_resolve() {
     let _ = lte::preprocess::Modality::Peaked;
     let _ = lte::baselines::Kernel::Linear;
     let _ = lte::core::config::LteConfig::reduced();
+    let _ = lte::serve::percentile(&[1.0], 50.0);
 }
 
 #[test]
