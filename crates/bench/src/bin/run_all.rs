@@ -24,6 +24,7 @@ fn main() {
     experiments::table2::run(&env, out);
     experiments::fig8::run(&env, out);
     experiments::throughput::run(&env, out);
+    experiments::scenarios::run(&env, out, opts.smoke);
 
     println!(
         "\nall experiments regenerated in {:.1} min",

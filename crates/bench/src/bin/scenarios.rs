@@ -1,0 +1,13 @@
+//! Mixed-traffic scenario runner (see lte_bench::experiments::scenarios).
+
+use lte_bench::{cli::Options, env::BenchEnv};
+
+fn main() {
+    let opts = Options::parse();
+    let env = BenchEnv::from_options(&opts);
+    let out = opts.out.as_deref();
+    match opts.subcommand() {
+        None => lte_bench::experiments::scenarios::run(&env, out, opts.smoke),
+        Some(sub) => lte_bench::experiments::scenarios::subcommand(&env, out, opts.smoke, sub),
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! Flags (all optional):
 //! * `--paper` — run at the paper's full scale (slow!),
+//! * `--smoke` — reduced CI scale (tiny training, few sessions),
 //! * `--seed <u64>` — master seed (default 42),
 //! * `--reps <n>` — repetitions (test UIRs) per configuration,
 //! * `--out <dir>` — also write CSV files into `<dir>`,
@@ -14,6 +15,8 @@ use std::path::PathBuf;
 pub struct Options {
     /// Full paper scale instead of the reduced default.
     pub paper: bool,
+    /// Reduced CI smoke scale (honoured by experiments that support it).
+    pub smoke: bool,
     /// Master seed.
     pub seed: u64,
     /// Repetitions per configuration (0 = scale default).
@@ -28,6 +31,7 @@ impl Default for Options {
     fn default() -> Self {
         Self {
             paper: false,
+            smoke: false,
             seed: 42,
             reps: 0,
             out: None,
@@ -44,6 +48,7 @@ impl Options {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--paper" => opts.paper = true,
+                "--smoke" => opts.smoke = true,
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
                     opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
@@ -71,7 +76,9 @@ impl Options {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("argument error: {e}");
-                eprintln!("usage: [subcommand] [--paper] [--seed N] [--reps N] [--out DIR]");
+                eprintln!(
+                    "usage: [subcommand] [--paper] [--smoke] [--seed N] [--reps N] [--out DIR]"
+                );
                 std::process::exit(2);
             }
         }
@@ -95,6 +102,7 @@ mod tests {
     fn defaults() {
         let o = parse(&[]).unwrap();
         assert!(!o.paper);
+        assert!(!o.smoke);
         assert_eq!(o.seed, 42);
         assert_eq!(o.reps, 0);
         assert!(o.out.is_none());
@@ -104,10 +112,11 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let o = parse(&[
-            "accuracy", "--paper", "--seed", "7", "--reps", "5", "--out", "/tmp/x",
+            "accuracy", "--paper", "--smoke", "--seed", "7", "--reps", "5", "--out", "/tmp/x",
         ])
         .unwrap();
         assert!(o.paper);
+        assert!(o.smoke);
         assert_eq!(o.seed, 7);
         assert_eq!(o.reps, 5);
         assert_eq!(o.out.unwrap().to_str().unwrap(), "/tmp/x");

@@ -1,0 +1,102 @@
+//! Mixed-traffic scenario runs: per-cohort F1, convergence, and round
+//! latency of the simulated-analyst workload layer, with JSON output.
+//!
+//! Not a paper figure — this drives the ROADMAP's workload-simulation
+//! item: a standard 80/15/5 mix of steady analysts, drifters, and churners
+//! (see `lte_core::scenario`) served through `lte-serve`, reported per
+//! cohort. The `--smoke` flag runs a minutes-to-seconds reduced scale so
+//! CI can keep the runner honest.
+
+use crate::env::BenchEnv;
+use crate::report::{fmt_secs, Report};
+use crate::runner::{build_pipeline, eval_pool};
+use lte_data::rng::derive_seed;
+use lte_serve::{ScenarioConfig, SessionEngine};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Sessions in the full-scale mix.
+const SESSIONS: usize = 48;
+/// Sessions in the `--smoke` mix (still ≥ one per cohort).
+const SMOKE_SESSIONS: usize = 9;
+
+/// Run the standard mixed-traffic scenario and report per cohort.
+pub fn run(env: &BenchEnv, out: Option<&Path>, smoke: bool) {
+    let table = env.table("sdss");
+    let mut cfg = env.lte_config(30);
+    cfg.task.mode = env.convex_mode();
+    if smoke {
+        cfg.train.n_tasks = 60;
+        cfg.train.epochs = 1;
+    }
+    let (pipeline, _) = build_pipeline(table, 4, cfg, derive_seed(env.seed, 900));
+    let pool = eval_pool(
+        table,
+        if smoke { 400 } else { env.eval_size },
+        derive_seed(env.seed, 901),
+    );
+
+    let sessions = if smoke { SMOKE_SESSIONS } else { SESSIONS };
+    let scenario = ScenarioConfig::standard_mix(sessions, derive_seed(env.seed, 920));
+    let engine = SessionEngine::new(Arc::new(pipeline));
+    let (_, report) = engine.run_scenario(&scenario, &pool);
+
+    let mut table_out = Report::new(
+        format!(
+            "Mixed-traffic scenario `{}` ({sessions} sessions, SDSS 4D{})",
+            scenario.name,
+            if smoke { ", smoke" } else { "" }
+        ),
+        &[
+            "cohort",
+            "sessions",
+            "F1",
+            "rounds",
+            "abandoned",
+            "drifted",
+            "converged",
+            "think",
+            "round p50",
+            "round p95",
+        ],
+    );
+    for c in &report.cohorts {
+        table_out.push_row(vec![
+            c.name.clone(),
+            c.sessions.to_string(),
+            format!("{:.3}", c.mean_f1),
+            format!("{:.1}", c.mean_rounds),
+            c.abandoned.to_string(),
+            c.drifted.to_string(),
+            c.converged.to_string(),
+            fmt_secs(c.mean_think_seconds),
+            fmt_secs(c.round_p50_seconds),
+            fmt_secs(c.round_p95_seconds),
+        ]);
+    }
+    table_out.print();
+    println!("{}", report.summary());
+    println!("{}", report.to_json());
+
+    if let Some(dir) = out {
+        let _ = table_out.write_csv(dir);
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join("scenarios.json");
+            match std::fs::write(&path, report.to_json()) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("could not write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Dispatch a CLI subcommand; unknown names list the options and exit.
+pub fn subcommand(env: &BenchEnv, out: Option<&Path>, smoke: bool, sub: &str) {
+    match sub {
+        "all" => run(env, out, smoke),
+        other => {
+            eprintln!("unknown subcommand `{other}`; available: all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -167,6 +167,39 @@ mod tests {
     }
 
     #[test]
+    fn mid_session_shift_flips_staleness() {
+        // Regression anchor for the refine path: a session starts against
+        // data the context summarizes, then the distribution moves
+        // mid-session. The probe must report stale strictly *after* the
+        // shift, never before — rebuilding on the "before" probe would be
+        // a spurious refine, missing the "after" probe a stale serve.
+        let (ctx, table) = ctx_and_table();
+        let before = probe_drift(&ctx, &table, 500, &mut seeded(7));
+        assert!(
+            !before.is_stale(DEFAULT_MAX_SHIFT, DEFAULT_MAX_RATIO),
+            "pre-shift probe must be clean: {before:?}"
+        );
+
+        let schema: Schema = table.schema().clone();
+        let rows: Vec<Vec<f64>> = table
+            .to_rows()
+            .into_iter()
+            .map(|mut row| {
+                row[0] += 50_000.0;
+                row[1] += 50_000.0;
+                row
+            })
+            .collect();
+        let shifted = Table::from_rows(schema, &rows).expect("table");
+        let after = probe_drift(&ctx, &shifted, 500, &mut seeded(7));
+        assert!(
+            after.is_stale(DEFAULT_MAX_SHIFT, DEFAULT_MAX_RATIO),
+            "post-shift probe must flag stale: {after:?}"
+        );
+        assert!(after.quantization_ratio > before.quantization_ratio);
+    }
+
+    #[test]
     fn mode_mass_shift_is_detected() {
         let (ctx, table) = ctx_and_table();
         // Keep only tuples from the left half of the rowc domain: mass

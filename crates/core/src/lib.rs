@@ -51,6 +51,7 @@ pub mod parallel;
 pub mod persist;
 pub mod pipeline;
 pub mod refine;
+pub mod scenario;
 pub mod uis;
 
 pub use classifier::{ClassifierConfig, UisClassifier};
@@ -60,6 +61,11 @@ pub use explore::{ExploreOutcome, Variant};
 pub use meta_learner::MetaLearner;
 pub use meta_task::MetaTask;
 pub use metrics::ConfusionMatrix;
-pub use oracle::{ConjunctiveOracle, RegionOracle, SubspaceOracle};
+pub use oracle::{
+    BehaviorOracle, Cadence, ConjunctiveOracle, NoisyOracle, RegionOracle, SubspaceOracle,
+};
 pub use pipeline::LtePipeline;
+pub use scenario::{
+    explore_behavioral, BehaviorConfig, BehavioralOutcome, DriftSpec, DriftTrigger,
+};
 pub use uis::UisMode;

@@ -27,6 +27,23 @@ pub fn derive_seed(parent: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Map a seed to a uniform value in `[0, 1)` without constructing an RNG.
+///
+/// Combined with [`derive_seed`] this gives counter-based randomness: the
+/// n-th decision of a stream is `unit_from(derive_seed(seed, n))`, which is
+/// reproducible regardless of how many decisions were drawn before it. The
+/// behavior-oracle layer uses this so label noise does not depend on
+/// labelling order.
+pub fn unit_from(seed: u64) -> f64 {
+    // One extra SplitMix64 round so `unit_from(derive_seed(s, n))` is not
+    // correlated with the raw derived seed's low bits.
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// Sample a standard-normal value via the Box-Muller transform.
 pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     // Avoid ln(0): shift u1 into (0, 1].
@@ -80,6 +97,18 @@ mod tests {
         assert_ne!(s1, s2);
         // Deterministic.
         assert_eq!(derive_seed(7, 0), s1);
+    }
+
+    #[test]
+    fn unit_from_is_uniform_and_deterministic() {
+        assert_eq!(unit_from(99), unit_from(99));
+        let n = 20_000u64;
+        let mean = (0..n).map(|i| unit_from(derive_seed(5, i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        for i in 0..1_000 {
+            let u = unit_from(derive_seed(5, i));
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 
     #[test]

@@ -63,6 +63,15 @@ impl Aabb {
             .all(|(&v, (&lo, &hi))| v >= lo && v <= hi)
     }
 
+    /// Midpoint of every dimension.
+    pub fn center(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(lo, hi)| (lo + hi) / 2.0)
+            .collect()
+    }
+
     /// Grow the box by `margin` in every direction.
     pub fn inflate(&self, margin: f64) -> Aabb {
         Aabb {
@@ -111,6 +120,12 @@ mod tests {
         assert_eq!(b.lo(), &[-2.0, 3.0]);
         assert_eq!(b.hi(), &[1.0, 7.0]);
         assert!(Aabb::from_rows(&[]).is_none());
+    }
+
+    #[test]
+    fn center_is_the_midpoint() {
+        let b = Aabb::new(vec![0.0, -2.0], vec![4.0, 2.0]);
+        assert_eq!(b.center(), vec![2.0, 0.0]);
     }
 
     #[test]

@@ -37,6 +37,63 @@ impl Region {
             Region::Box(b) => row.len() == b.dim() && b.contains(row),
         }
     }
+
+    /// Tight axis-aligned bounding box; `None` for an empty polygon.
+    pub fn aabb(&self) -> Option<Aabb> {
+        match self {
+            Region::Interval { lo, hi } => Some(Aabb::new(vec![*lo], vec![*hi])),
+            Region::Polygon(poly) => {
+                let rows: Vec<Vec<f64>> = poly.vertices().iter().map(|p| vec![p.x, p.y]).collect();
+                Aabb::from_rows(&rows)
+            }
+            Region::Box(b) => Some(b.clone()),
+        }
+    }
+
+    /// The region rigidly translated by `offset` (per dimension; missing
+    /// trailing components translate by 0). Models an analyst's interest
+    /// moving elsewhere in the subspace without changing shape.
+    pub fn translate(&self, offset: &[f64]) -> Region {
+        let off = |d: usize| offset.get(d).copied().unwrap_or(0.0);
+        match self {
+            Region::Interval { lo, hi } => Region::interval(lo + off(0), hi + off(0)),
+            Region::Polygon(poly) => {
+                let pts: Vec<crate::point::Point2> = poly
+                    .vertices()
+                    .iter()
+                    .map(|p| crate::point::Point2::new(p.x + off(0), p.y + off(1)))
+                    .collect();
+                Region::Polygon(ConvexPolygon::from_points(&pts))
+            }
+            Region::Box(b) => Region::Box(Aabb::new(
+                b.lo().iter().enumerate().map(|(d, v)| v + off(d)).collect(),
+                b.hi().iter().enumerate().map(|(d, v)| v + off(d)).collect(),
+            )),
+        }
+    }
+
+    /// The region scaled by `factor` about `center` (per dimension; missing
+    /// trailing components scale about 0). Models an interest region
+    /// widening (`factor > 1`) or narrowing (`factor < 1`).
+    pub fn scale_about(&self, center: &[f64], factor: f64) -> Region {
+        let c = |d: usize| center.get(d).copied().unwrap_or(0.0);
+        let s = |d: usize, v: f64| c(d) + (v - c(d)) * factor;
+        match self {
+            Region::Interval { lo, hi } => Region::interval(s(0, *lo), s(0, *hi)),
+            Region::Polygon(poly) => {
+                let pts: Vec<crate::point::Point2> = poly
+                    .vertices()
+                    .iter()
+                    .map(|p| crate::point::Point2::new(s(0, p.x), s(1, p.y)))
+                    .collect();
+                Region::Polygon(ConvexPolygon::from_points(&pts))
+            }
+            Region::Box(b) => Region::Box(Aabb::new(
+                b.lo().iter().enumerate().map(|(d, &v)| s(d, v)).collect(),
+                b.hi().iter().enumerate().map(|(d, &v)| s(d, v)).collect(),
+            )),
+        }
+    }
 }
 
 /// A union of convex parts — the general UIS shape.
@@ -90,6 +147,34 @@ impl RegionUnion {
         }
         let hits = rows.iter().filter(|r| self.contains(r)).count();
         hits as f64 / rows.len() as f64
+    }
+
+    /// Bounding box of the whole union (`None` when every part is empty).
+    /// Parts must share one dimensionality.
+    pub fn aabb(&self) -> Option<Aabb> {
+        let corners: Vec<Vec<f64>> = self
+            .parts
+            .iter()
+            .filter_map(|p| p.aabb())
+            .flat_map(|b| [b.lo().to_vec(), b.hi().to_vec()])
+            .collect();
+        Aabb::from_rows(&corners)
+    }
+
+    /// Every part translated by `offset` (see [`Region::translate`]).
+    pub fn translate(&self, offset: &[f64]) -> RegionUnion {
+        RegionUnion::new(self.parts.iter().map(|p| p.translate(offset)).collect())
+    }
+
+    /// Every part scaled by `factor` about `center`
+    /// (see [`Region::scale_about`]).
+    pub fn scale_about(&self, center: &[f64], factor: f64) -> RegionUnion {
+        RegionUnion::new(
+            self.parts
+                .iter()
+                .map(|p| p.scale_about(center, factor))
+                .collect(),
+        )
     }
 }
 
@@ -150,6 +235,46 @@ mod tests {
         let uis = RegionUnion::empty();
         assert!(uis.is_empty());
         assert!(!uis.contains(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn translate_moves_membership_with_the_region() {
+        let uis = RegionUnion::new(vec![square(0.0, 0.0, 1.0, 1.0)]);
+        let moved = uis.translate(&[10.0, -5.0]);
+        assert!(moved.contains(&[10.5, -4.5]));
+        assert!(!moved.contains(&[0.5, 0.5]), "old location left behind");
+
+        let iv = Region::interval(2.0, 4.0).translate(&[1.0]);
+        assert!(iv.contains(&[3.5]) && iv.contains(&[5.0]) && !iv.contains(&[2.5]));
+
+        let b = Region::Box(Aabb::new(vec![0.0, 0.0], vec![1.0, 1.0])).translate(&[2.0, 0.0]);
+        assert!(b.contains(&[2.5, 0.5]) && !b.contains(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn scale_about_center_grows_and_shrinks() {
+        let uis = RegionUnion::new(vec![square(0.0, 0.0, 2.0, 2.0)]);
+        let grown = uis.scale_about(&[1.0, 1.0], 2.0);
+        assert!(grown.contains(&[-0.5, -0.5]), "doubled square reaches -1");
+        let shrunk = uis.scale_about(&[1.0, 1.0], 0.25);
+        assert!(
+            !shrunk.contains(&[0.1, 0.1]),
+            "quartered square lost its corner"
+        );
+        assert!(shrunk.contains(&[1.0, 1.0]), "center stays inside");
+    }
+
+    #[test]
+    fn union_aabb_encloses_all_parts() {
+        let uis = RegionUnion::new(vec![square(0.0, 0.0, 1.0, 1.0), square(5.0, 5.0, 6.0, 6.0)]);
+        let bb = uis.aabb().unwrap();
+        assert_eq!(bb.lo(), &[0.0, 0.0]);
+        assert_eq!(bb.hi(), &[6.0, 6.0]);
+        assert_eq!(
+            Region::interval(3.0, 7.0).aabb().unwrap().center(),
+            vec![5.0]
+        );
+        assert!(RegionUnion::empty().aabb().is_none());
     }
 
     #[test]

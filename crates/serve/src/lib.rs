@@ -17,7 +17,11 @@
 //! * [`SessionRequest`] / [`SessionOutcome`] — one user's exploration in
 //!   and out,
 //! * [`ThroughputStats`] — sessions/sec and p50/p95 round latency for
-//!   capacity planning.
+//!   capacity planning,
+//! * [`ScenarioConfig`] / [`SessionEngine::run_scenario`] — mixed-traffic
+//!   workload simulation: cohorts of simulated analysts (steady, drifting,
+//!   churning; see [`lte_core::scenario`]) composed into one reproducible
+//!   batch, reported per cohort by [`ScenarioReport`].
 //!
 //! **Determinism guarantee:** session results depend only on each request's
 //! seed and truth, never on the worker count or scheduling — outputs come
@@ -58,7 +62,9 @@
 //! ```
 
 pub mod engine;
+pub mod scenario;
 pub mod stats;
 
 pub use engine::{SessionEngine, SessionOutcome, SessionRequest};
-pub use stats::{percentile, ThroughputStats};
+pub use scenario::{Cohort, ScenarioConfig, ScenarioOutcome, ScenarioRequest};
+pub use stats::{percentile, CohortStats, ScenarioReport, ThroughputStats};

@@ -1,0 +1,278 @@
+//! Mixed-traffic scenarios: cohorts of simulated analysts over the engine.
+//!
+//! A scenario composes [`Cohort`]s — named analyst populations with a
+//! [`BehaviorConfig`] and a traffic share — into one reproducible batch of
+//! sessions. Cohort assignment is largest-remainder apportionment followed
+//! by a seeded Fisher–Yates shuffle, so the exact cohort of every session
+//! slot is a pure function of the scenario config; running the batch on 1
+//! worker or 32 yields byte-identical per-cohort reports (timing fields
+//! aside), pinned by `tests/scenario_determinism.rs`.
+
+use crate::engine::SessionEngine;
+use crate::stats::ScenarioReport;
+use lte_core::explore::Variant;
+use lte_core::oracle::ConjunctiveOracle;
+use lte_core::parallel::parallel_map;
+use lte_core::scenario::{explore_behavioral, BehaviorConfig, BehavioralOutcome};
+use lte_core::uis::UisMode;
+use lte_data::rng::{derive_seed, seeded};
+use rand::Rng;
+use std::time::Instant;
+
+/// One analyst population: a name, a behavior, and its share of traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cohort {
+    /// Cohort name (appears in reports and JSON).
+    pub name: String,
+    /// How these analysts behave.
+    pub behavior: BehaviorConfig,
+    /// Relative traffic share (weights need not sum to 1).
+    pub weight: f64,
+}
+
+/// A reproducible traffic mix over one serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Scenario name (appears in reports and JSON).
+    pub name: String,
+    /// The analyst populations in the mix.
+    pub cohorts: Vec<Cohort>,
+    /// Total sessions across all cohorts.
+    pub sessions: usize,
+    /// Simulated-UIS shape for the ground truths.
+    pub mode: UisMode,
+    /// Ground-truth selectivity guard (lower bound).
+    pub min_sel: f64,
+    /// Ground-truth selectivity guard (upper bound).
+    pub max_sel: f64,
+    /// LTE variant every session runs.
+    pub variant: Variant,
+    /// Master seed; everything in the scenario derives from it.
+    pub seed: u64,
+    /// F1 threshold for rounds-to-convergence reporting.
+    pub convergence_f1: f64,
+}
+
+impl ScenarioConfig {
+    /// The default mix: 80% steady analysts, 15% drifters, 5% churners —
+    /// the shape AIDE-style serving literature assumes (see PAPERS.md).
+    pub fn standard_mix(sessions: usize, seed: u64) -> Self {
+        Self {
+            name: "standard_mix".to_string(),
+            cohorts: vec![
+                Cohort {
+                    name: "steady".to_string(),
+                    behavior: BehaviorConfig::steady(),
+                    weight: 0.80,
+                },
+                Cohort {
+                    name: "drifters".to_string(),
+                    behavior: BehaviorConfig::drifter(),
+                    weight: 0.15,
+                },
+                Cohort {
+                    name: "churners".to_string(),
+                    behavior: BehaviorConfig::churner(),
+                    weight: 0.05,
+                },
+            ],
+            sessions,
+            mode: UisMode::new(1, 10),
+            min_sel: 0.2,
+            max_sel: 0.9,
+            variant: Variant::Meta,
+            seed,
+            convergence_f1: 0.6,
+        }
+    }
+
+    /// Cohort index per session slot: largest-remainder apportionment of
+    /// `sessions` across cohort weights, then a seeded Fisher–Yates
+    /// shuffle. Deterministic in the config alone.
+    pub fn assignments(&self) -> Vec<usize> {
+        assert!(!self.cohorts.is_empty(), "at least one cohort required");
+        let total_w: f64 = self.cohorts.iter().map(|c| c.weight.max(0.0)).sum();
+        let mut counts = vec![0usize; self.cohorts.len()];
+        if total_w > 0.0 {
+            let quotas: Vec<f64> = self
+                .cohorts
+                .iter()
+                .map(|c| c.weight.max(0.0) / total_w * self.sessions as f64)
+                .collect();
+            let mut assigned = 0usize;
+            for (count, quota) in counts.iter_mut().zip(&quotas) {
+                *count = quota.floor() as usize;
+                assigned += *count;
+            }
+            // Hand leftover slots to the largest fractional remainders
+            // (ties broken by cohort order — still deterministic).
+            let mut order: Vec<usize> = (0..self.cohorts.len()).collect();
+            order.sort_by(|&a, &b| {
+                let ra = quotas[a] - quotas[a].floor();
+                let rb = quotas[b] - quotas[b].floor();
+                rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &c in order.iter().cycle().take(self.sessions - assigned) {
+                counts[c] += 1;
+            }
+        } else {
+            counts[0] = self.sessions;
+        }
+
+        let mut slots: Vec<usize> = counts
+            .iter()
+            .enumerate()
+            .flat_map(|(c, &n)| std::iter::repeat_n(c, n))
+            .collect();
+        let mut rng = seeded(derive_seed(self.seed, 17));
+        for i in (1..slots.len()).rev() {
+            let j = rng.random_range(0..=i);
+            slots.swap(i, j);
+        }
+        slots
+    }
+}
+
+/// One scenario session: a ground truth plus the cohort it was drawn for.
+#[derive(Debug, Clone)]
+pub struct ScenarioRequest {
+    /// Session identifier (slot index).
+    pub id: u64,
+    /// Index into the scenario's cohort list.
+    pub cohort: usize,
+    /// The analyst's initial ground-truth interest region.
+    pub truth: ConjunctiveOracle,
+    /// Session seed (drives initial tuples, noise, and think-time jitter).
+    pub seed: u64,
+}
+
+/// A completed scenario session.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The request's identifier.
+    pub id: u64,
+    /// Index into the scenario's cohort list.
+    pub cohort: usize,
+    /// The behavioral session result.
+    pub outcome: BehavioralOutcome,
+    /// Wall-clock seconds of the session as seen by the engine.
+    pub wall_seconds: f64,
+}
+
+impl SessionEngine {
+    /// Materialize a scenario's session requests: one selectivity-guarded
+    /// ground truth per slot, cohorts assigned per
+    /// [`ScenarioConfig::assignments`]. Request `i` is identical across
+    /// calls with the same config.
+    pub fn scenario_requests(&self, cfg: &ScenarioConfig) -> Vec<ScenarioRequest> {
+        let cohorts = cfg.assignments();
+        (0..cfg.sessions)
+            .map(|i| ScenarioRequest {
+                id: i as u64,
+                cohort: cohorts[i],
+                truth: self.pipeline().generate_truth(
+                    cfg.mode,
+                    derive_seed(cfg.seed, 6_000 + i as u64),
+                    cfg.min_sel,
+                    cfg.max_sel,
+                ),
+                seed: derive_seed(cfg.seed, 8_000 + i as u64),
+            })
+            .collect()
+    }
+
+    /// Run a full mixed-traffic scenario across the worker pool and
+    /// aggregate per-cohort statistics. Outcome contents are independent
+    /// of the worker count; only measured timing varies.
+    pub fn run_scenario(
+        &self,
+        cfg: &ScenarioConfig,
+        eval_rows: &[Vec<f64>],
+    ) -> (Vec<ScenarioOutcome>, ScenarioReport) {
+        let requests = self.scenario_requests(cfg);
+        let pipeline = self.pipeline();
+        let cohorts = &cfg.cohorts;
+        let variant = cfg.variant;
+        let t0 = Instant::now();
+        let outcomes = parallel_map(requests, self.workers(), move |req| {
+            let s0 = Instant::now();
+            let outcome = explore_behavioral(
+                pipeline,
+                &req.truth,
+                &cohorts[req.cohort].behavior,
+                eval_rows,
+                variant,
+                req.seed,
+            );
+            ScenarioOutcome {
+                id: req.id,
+                cohort: req.cohort,
+                outcome,
+                wall_seconds: s0.elapsed().as_secs_f64(),
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        let report = ScenarioReport::collect(cfg, &outcomes, wall, self.workers());
+        (outcomes, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(sessions: usize) -> ScenarioConfig {
+        ScenarioConfig::standard_mix(sessions, 42)
+    }
+
+    #[test]
+    fn assignments_apportion_and_cover_every_cohort() {
+        let cfg = mix(40);
+        let slots = cfg.assignments();
+        assert_eq!(slots.len(), 40);
+        let count = |c: usize| slots.iter().filter(|&&s| s == c).count();
+        assert_eq!(count(0), 32, "80% of 40");
+        assert_eq!(count(1), 6, "15% of 40");
+        assert_eq!(count(2), 2, "5% of 40");
+    }
+
+    #[test]
+    fn assignments_are_deterministic_and_shuffled() {
+        let cfg = mix(64);
+        let a = cfg.assignments();
+        assert_eq!(a, cfg.assignments());
+        // Shuffled: the tail is not all-churners as the unshuffled
+        // repeat-layout would make it.
+        assert_ne!(
+            &a[..],
+            &{
+                let mut sorted = a.clone();
+                sorted.sort_unstable();
+                sorted
+            }[..],
+            "assignment order must be shuffled"
+        );
+        // A different seed shuffles differently.
+        let mut other = mix(64);
+        other.seed = 43;
+        assert_ne!(a, other.assignments());
+    }
+
+    #[test]
+    fn zero_weight_mass_falls_back_to_the_first_cohort() {
+        let mut cfg = mix(10);
+        for c in &mut cfg.cohorts {
+            c.weight = 0.0;
+        }
+        let slots = cfg.assignments();
+        assert_eq!(slots, vec![0; 10]);
+    }
+
+    #[test]
+    fn tiny_session_counts_still_cover_the_big_cohorts() {
+        let cfg = mix(3);
+        let slots = cfg.assignments();
+        assert_eq!(slots.len(), 3);
+        assert!(slots.contains(&0), "steady cohort must appear");
+    }
+}

@@ -7,6 +7,7 @@
 //! core, so they exclude engine queueing and oracle labelling time.
 
 use crate::engine::SessionOutcome;
+use crate::scenario::{ScenarioConfig, ScenarioOutcome};
 
 /// Aggregate statistics of one batch of sessions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +64,237 @@ impl ThroughputStats {
     }
 }
 
+/// Aggregate statistics of one cohort within a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortStats {
+    /// Cohort name.
+    pub name: String,
+    /// Sessions this cohort ran.
+    pub sessions: usize,
+    /// Sessions abandoned before exploring every subspace.
+    pub abandoned: usize,
+    /// Sessions whose interest region shifted during an executed round.
+    pub drifted: usize,
+    /// Sessions whose running F1 reached the scenario's convergence
+    /// threshold.
+    pub converged: usize,
+    /// Mean final F1 (against each analyst's final truth).
+    pub mean_f1: f64,
+    /// Mean rounds completed per session.
+    pub mean_rounds: f64,
+    /// Mean labels drawn per session.
+    pub mean_labels: f64,
+    /// Mean rounds to reach the convergence threshold, over the sessions
+    /// that converged (0 when none did).
+    pub mean_rounds_to_convergence: f64,
+    /// Mean simulated think seconds per session (deterministic).
+    pub mean_think_seconds: f64,
+    /// Median measured round latency in seconds.
+    pub round_p50_seconds: f64,
+    /// 95th-percentile measured round latency in seconds.
+    pub round_p95_seconds: f64,
+}
+
+/// Aggregate report of one mixed-traffic scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Total sessions across cohorts.
+    pub sessions: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// F1 threshold used for convergence accounting.
+    pub convergence_f1: f64,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Completed sessions per wall-clock second.
+    pub sessions_per_sec: f64,
+    /// Per-cohort statistics, in scenario cohort order.
+    pub cohorts: Vec<CohortStats>,
+}
+
+impl ScenarioReport {
+    /// Aggregate a finished scenario batch.
+    pub fn collect(
+        cfg: &ScenarioConfig,
+        outcomes: &[ScenarioOutcome],
+        wall_seconds: f64,
+        workers: usize,
+    ) -> Self {
+        let cohorts = cfg
+            .cohorts
+            .iter()
+            .enumerate()
+            .map(|(c, cohort)| {
+                let members: Vec<&ScenarioOutcome> =
+                    outcomes.iter().filter(|o| o.cohort == c).collect();
+                let n = members.len();
+                let mean = |f: &dyn Fn(&ScenarioOutcome) -> f64| {
+                    if n == 0 {
+                        0.0
+                    } else {
+                        members.iter().map(|o| f(o)).sum::<f64>() / n as f64
+                    }
+                };
+                let conv_rounds: Vec<usize> = members
+                    .iter()
+                    .filter_map(|o| o.outcome.rounds_to_convergence(cfg.convergence_f1))
+                    .collect();
+                let mut rounds: Vec<f64> = members
+                    .iter()
+                    .flat_map(|o| o.outcome.subspace_outcomes.iter().map(|s| s.online_seconds))
+                    .collect();
+                rounds.sort_by(f64::total_cmp);
+                CohortStats {
+                    name: cohort.name.clone(),
+                    sessions: n,
+                    abandoned: members.iter().filter(|o| o.outcome.abandoned).count(),
+                    drifted: members.iter().filter(|o| o.outcome.drifted).count(),
+                    converged: conv_rounds.len(),
+                    mean_f1: mean(&|o| o.outcome.f1()),
+                    mean_rounds: mean(&|o| o.outcome.rounds_run as f64),
+                    mean_labels: mean(&|o| o.outcome.labels_used as f64),
+                    mean_rounds_to_convergence: if conv_rounds.is_empty() {
+                        0.0
+                    } else {
+                        conv_rounds.iter().sum::<usize>() as f64 / conv_rounds.len() as f64
+                    },
+                    mean_think_seconds: mean(&|o| o.outcome.think_seconds),
+                    round_p50_seconds: percentile(&rounds, 50.0),
+                    round_p95_seconds: percentile(&rounds, 95.0),
+                }
+            })
+            .collect();
+        Self {
+            scenario: cfg.name.clone(),
+            sessions: outcomes.len(),
+            workers,
+            convergence_f1: cfg.convergence_f1,
+            wall_seconds,
+            sessions_per_sec: if wall_seconds > 0.0 {
+                outcomes.len() as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            cohorts,
+        }
+    }
+
+    /// Full JSON rendering, measured timing included.
+    pub fn to_json(&self) -> String {
+        self.render_json(true)
+    }
+
+    /// JSON with every *measured* timing field omitted (wall clock,
+    /// throughput, worker count, round percentiles). Everything left is a
+    /// pure function of the scenario config — two runs of the same scenario
+    /// at any worker counts render byte-identical strings. Simulated think
+    /// time stays: it is deterministic.
+    pub fn deterministic_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    fn render_json(&self, with_timing: bool) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"scenario\": {},\n", json_str(&self.scenario)));
+        s.push_str(&format!("  \"sessions\": {},\n", self.sessions));
+        if with_timing {
+            s.push_str(&format!("  \"workers\": {},\n", self.workers));
+            s.push_str(&format!("  \"wall_seconds\": {},\n", self.wall_seconds));
+            s.push_str(&format!(
+                "  \"sessions_per_sec\": {},\n",
+                self.sessions_per_sec
+            ));
+        }
+        s.push_str(&format!("  \"convergence_f1\": {},\n", self.convergence_f1));
+        s.push_str("  \"cohorts\": [\n");
+        for (i, c) in self.cohorts.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": {},\n", json_str(&c.name)));
+            s.push_str(&format!("      \"sessions\": {},\n", c.sessions));
+            s.push_str(&format!("      \"abandoned\": {},\n", c.abandoned));
+            s.push_str(&format!("      \"drifted\": {},\n", c.drifted));
+            s.push_str(&format!("      \"converged\": {},\n", c.converged));
+            s.push_str(&format!("      \"mean_f1\": {},\n", c.mean_f1));
+            s.push_str(&format!("      \"mean_rounds\": {},\n", c.mean_rounds));
+            s.push_str(&format!("      \"mean_labels\": {},\n", c.mean_labels));
+            s.push_str(&format!(
+                "      \"mean_rounds_to_convergence\": {},\n",
+                c.mean_rounds_to_convergence
+            ));
+            s.push_str(&format!(
+                "      \"mean_think_seconds\": {}",
+                c.mean_think_seconds
+            ));
+            if with_timing {
+                s.push_str(&format!(
+                    ",\n      \"round_p50_seconds\": {},\n",
+                    c.round_p50_seconds
+                ));
+                s.push_str(&format!(
+                    "      \"round_p95_seconds\": {}\n",
+                    c.round_p95_seconds
+                ));
+            } else {
+                s.push('\n');
+            }
+            s.push_str(if i + 1 < self.cohorts.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        s.push_str("  ]\n}");
+        s
+    }
+
+    /// Multi-line human-readable summary (one line per cohort).
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "scenario {}: {} sessions / {} workers, {:.1} sessions/s",
+            self.scenario, self.sessions, self.workers, self.sessions_per_sec
+        );
+        for c in &self.cohorts {
+            s.push_str(&format!(
+                "\n  {:<10} {:>3} sessions: F1 {:.3}, {:.1} rounds, {} abandoned, {} drifted, \
+                 {} converged (mean {:.1} rounds), round p50 {:.2} ms p95 {:.2} ms",
+                c.name,
+                c.sessions,
+                c.mean_f1,
+                c.mean_rounds,
+                c.abandoned,
+                c.drifted,
+                c.converged,
+                c.mean_rounds_to_convergence,
+                c.round_p50_seconds * 1e3,
+                c.round_p95_seconds * 1e3,
+            ));
+        }
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Nearest-rank percentile of an **ascending-sorted** slice; `p` in
 /// `[0, 100]`. Empty input yields 0.
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -76,6 +308,62 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("steady"), "\"steady\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\ny\"");
+    }
+
+    #[test]
+    fn deterministic_json_omits_measured_timing() {
+        let report = ScenarioReport {
+            scenario: "mix".to_string(),
+            sessions: 2,
+            workers: 8,
+            convergence_f1: 0.6,
+            wall_seconds: 1.25,
+            sessions_per_sec: 1.6,
+            cohorts: vec![CohortStats {
+                name: "steady".to_string(),
+                sessions: 2,
+                abandoned: 0,
+                drifted: 0,
+                converged: 1,
+                mean_f1: 0.75,
+                mean_rounds: 2.0,
+                mean_labels: 60.0,
+                mean_rounds_to_convergence: 1.5,
+                mean_think_seconds: 0.0,
+                round_p50_seconds: 0.01,
+                round_p95_seconds: 0.02,
+            }],
+        };
+        let full = report.to_json();
+        for key in [
+            "workers",
+            "wall_seconds",
+            "sessions_per_sec",
+            "round_p50_seconds",
+        ] {
+            assert!(full.contains(key), "to_json must include {key}");
+        }
+        let det = report.deterministic_json();
+        for key in ["workers", "wall_seconds", "sessions_per_sec", "round_p"] {
+            assert!(!det.contains(key), "deterministic_json must omit {key}");
+        }
+        for key in ["mean_f1", "mean_think_seconds", "converged", "\"steady\""] {
+            assert!(det.contains(key), "deterministic_json must keep {key}");
+        }
+        // Timing changes must not touch the deterministic rendering.
+        let mut other = report.clone();
+        other.wall_seconds = 99.0;
+        other.workers = 1;
+        other.cohorts[0].round_p95_seconds = 9.0;
+        assert_eq!(det, other.deterministic_json());
+        assert_ne!(full, other.to_json());
+    }
 
     #[test]
     fn percentile_nearest_rank() {

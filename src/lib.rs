@@ -54,13 +54,19 @@ pub mod prelude {
     pub use lte_core::config::LteConfig;
     pub use lte_core::explore::Variant;
     pub use lte_core::metrics::ConfusionMatrix;
-    pub use lte_core::oracle::{ConjunctiveOracle, RegionOracle, SubspaceOracle};
+    pub use lte_core::oracle::{
+        BehaviorOracle, Cadence, ConjunctiveOracle, RegionOracle, SubspaceOracle,
+    };
     pub use lte_core::persist::{load_pipeline, save_pipeline};
     pub use lte_core::pipeline::{LtePipeline, UirOutcome};
+    pub use lte_core::scenario::{BehaviorConfig, BehavioralOutcome, DriftSpec, DriftTrigger};
     pub use lte_core::uis::UisMode;
     pub use lte_data::csv::{read_csv, write_csv};
     pub use lte_data::subspace::{decompose_random, decompose_sequential, Subspace};
     pub use lte_data::{Dataset, Table};
     pub use lte_geom::{Region, RegionUnion};
-    pub use lte_serve::{SessionEngine, SessionOutcome, SessionRequest, ThroughputStats};
+    pub use lte_serve::{
+        Cohort, ScenarioConfig, ScenarioReport, SessionEngine, SessionOutcome, SessionRequest,
+        ThroughputStats,
+    };
 }

@@ -26,6 +26,15 @@ fn prelude_types_resolve(
     _session_request: SessionRequest,
     _session_outcome: SessionOutcome,
     _throughput: ThroughputStats,
+    _behavior: BehaviorOracle,
+    _cadence: Cadence,
+    _behavior_config: BehaviorConfig,
+    _behavioral_outcome: BehavioralOutcome,
+    _drift_spec: DriftSpec,
+    _drift_trigger: DriftTrigger,
+    _cohort: Cohort,
+    _scenario_config: ScenarioConfig,
+    _scenario_report: ScenarioReport,
 ) {
 }
 
