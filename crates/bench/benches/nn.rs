@@ -1,9 +1,16 @@
 //! Micro-benchmark: the UIS classifier's forward/backward passes (§VI-A) at
-//! paper-scale widths (ku=100, Ne=100).
+//! paper-scale widths (ku=100, Ne=100), pool scoring at serving scale
+//! across the precision ladder, and the raw matmul kernels under it.
+//!
+//! For machine-readable numbers (the committed `BENCH_pool_scoring.json`
+//! snapshot), use `cargo run --release -p lte-bench --bin pool_scoring`
+//! instead — vendored criterion has no JSON output.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lte_core::classifier::{ClassifierConfig, Grads, UisClassifier};
+use lte_core::config::ScoringPrecision;
 use lte_data::rng::seeded;
+use lte_nn::{Matrix, Matrix32};
 use std::hint::black_box;
 
 fn bench_nn(c: &mut Criterion) {
@@ -72,7 +79,49 @@ fn bench_pool_scoring(c: &mut Criterion) {
     c.bench_function("pool_scoring_batched_4096x64", |b| {
         b.iter(|| clf.logits_batch(black_box(&v_r), black_box(&pool))[0]);
     });
+
+    c.bench_function("pool_scoring_f32_4096x64", |b| {
+        b.iter(|| clf.score_pool(black_box(&v_r), black_box(&pool), ScoringPrecision::Fast)[0]);
+    });
 }
 
-criterion_group!(benches, bench_nn, bench_pool_scoring);
+/// The raw matmul kernels under pool scoring, isolated from the classifier:
+/// a naive triple loop as the pre-tiling baseline, the tiled f64 kernel
+/// (`Matrix::matmul_nt`, bit-identical to per-row matvec by contract), and
+/// the 8-lane f32 kernel (`Matrix32::matmul_nt`, tolerance contract). The
+/// 512×64·64×64 shape is one classifier layer at pool-block scale.
+fn bench_matmul_kernels(c: &mut Criterion) {
+    let (n, m, k) = (512, 64, 64);
+    let a = Matrix::from_fn(n, k, |i, j| ((i * k + j) as f64 * 0.017).sin());
+    let b_mat = Matrix::from_fn(m, k, |i, j| ((i * k + j) as f64 * 0.029).cos());
+    let a32 = Matrix32::from_f64(&a);
+    let b32 = Matrix32::from_f64(&b_mat);
+
+    c.bench_function("matmul_nt_naive_512x64x64", |bench| {
+        bench.iter(|| {
+            let (a, b_mat) = (black_box(&a), black_box(&b_mat));
+            let mut out = Matrix::zeros(n, m);
+            for i in 0..n {
+                for j in 0..m {
+                    let mut s = 0.0;
+                    for kk in 0..k {
+                        s += a.row(i)[kk] * b_mat.row(j)[kk];
+                    }
+                    out.row_mut(i)[j] = s;
+                }
+            }
+            out.row(0)[0]
+        });
+    });
+
+    c.bench_function("matmul_nt_tiled_f64_512x64x64", |bench| {
+        bench.iter(|| black_box(&a).matmul_nt(black_box(&b_mat)).row(0)[0]);
+    });
+
+    c.bench_function("matmul_nt_f32_512x64x64", |bench| {
+        bench.iter(|| black_box(&a32).matmul_nt(black_box(&b32)).row(0)[0]);
+    });
+}
+
+criterion_group!(benches, bench_nn, bench_pool_scoring, bench_matmul_kernels);
 criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Pool-scoring latency ladder + `BENCH_pool_scoring.json` snapshot
+//! (see lte_bench::experiments::pool_scoring).
+
+use lte_bench::{cli::Options, env::BenchEnv};
+
+fn main() {
+    let opts = Options::parse();
+    let env = BenchEnv::from_options(&opts);
+    let out = opts.out.as_deref();
+    match opts.subcommand() {
+        None => lte_bench::experiments::pool_scoring::run(&env, out, opts.smoke),
+        Some(sub) => lte_bench::experiments::pool_scoring::subcommand(&env, out, opts.smoke, sub),
+    }
+}

@@ -25,6 +25,7 @@ fn main() {
     experiments::fig8::run(&env, out);
     experiments::throughput::run(&env, out);
     experiments::scenarios::run(&env, out, opts.smoke);
+    experiments::pool_scoring::run(&env, out, opts.smoke);
 
     println!(
         "\nall experiments regenerated in {:.1} min",

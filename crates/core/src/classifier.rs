@@ -15,7 +15,7 @@
 //! locally fine-tuned by backpropagation together with θ (§VI-B).
 
 use lte_nn::loss::bce_with_logits;
-use lte_nn::{Activation, Matrix, Mlp, MlpCache};
+use lte_nn::{Activation, Matrix, Matrix32, Mlp, MlpCache};
 use rand::Rng;
 
 /// Architecture of the UIS classifier.
@@ -222,10 +222,97 @@ impl UisClassifier {
     /// only on its own tuple, and is deterministic — batch composition
     /// never changes a tuple's logit.
     ///
+    /// Pools of at least [`UisClassifier::PARALLEL_MIN_ROWS`] rows are
+    /// fanned across the shared worker pool in contiguous row blocks (see
+    /// [`parallel_flat_map_chunks`](crate::parallel::parallel_flat_map_chunks));
+    /// because each logit depends only on
+    /// its own tuple, the output is bit-identical to the serial pass at
+    /// any worker count.
+    ///
+    /// ```
+    /// use lte_core::classifier::{ClassifierConfig, UisClassifier};
+    /// use lte_data::rng::seeded;
+    ///
+    /// let cfg = ClassifierConfig { ku: 4, nr: 3, ne: 8, clf_hidden: 8, use_conversion: true };
+    /// let clf = UisClassifier::new(cfg, &mut seeded(0));
+    /// let v_r = vec![1.0, 0.0, 1.0, 0.0];
+    /// let pool = vec![vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]];
+    /// let logits = clf.logits_batch(&v_r, &pool);
+    /// assert_eq!(logits.len(), 2);
+    /// // Batched logits agree with the per-point path on every tuple.
+    /// assert!((logits[0] - clf.logit(&v_r, &pool[0])).abs() < 1e-12);
+    /// ```
+    ///
     /// # Panics
     /// Panics when input widths disagree with the architecture.
     pub fn logits_batch(&self, v_r: &[f64], tuples: &[Vec<f64>]) -> Vec<f64> {
         assert_eq!(v_r.len(), self.cfg.ku, "vR width mismatch");
+        self.chunked(tuples, |chunk| self.logits_block(v_r, chunk))
+    }
+
+    /// Single-precision batched inference — [`UisClassifier::logits_batch`]
+    /// on the `f32` kernels ([`Mlp::forward_batch_f32`]), for pool
+    /// *ranking* where only the order of logits matters. Logits track the
+    /// `f64` path to within `f32` round-off accumulated over the blocks
+    /// (see [`ScoringPrecision`](crate::config::ScoringPrecision) for the
+    /// accuracy/rank contract); the `f64` path stays the reference for
+    /// training and gradcheck. Parallelizes over row blocks exactly like
+    /// the `f64` path, with the same worker-count independence.
+    ///
+    /// # Panics
+    /// Panics when input widths disagree with the architecture.
+    pub fn logits_batch_f32(&self, v_r: &[f64], tuples: &[Vec<f64>]) -> Vec<f32> {
+        assert_eq!(v_r.len(), self.cfg.ku, "vR width mismatch");
+        self.chunked(tuples, |chunk| self.logits_block_f32(v_r, chunk))
+    }
+
+    /// Score a retrieval pool at the configured precision, always returning
+    /// `f64` logits (Fast-mode `f32` logits are promoted exactly). This is
+    /// the single entry point the online loop and the serving engine use;
+    /// see [`ScoringPrecision`](crate::config::ScoringPrecision) for when
+    /// `Fast` is safe.
+    pub fn score_pool(
+        &self,
+        v_r: &[f64],
+        tuples: &[Vec<f64>],
+        precision: crate::config::ScoringPrecision,
+    ) -> Vec<f64> {
+        match precision {
+            crate::config::ScoringPrecision::Exact => self.logits_batch(v_r, tuples),
+            crate::config::ScoringPrecision::Fast => self
+                .logits_batch_f32(v_r, tuples)
+                .into_iter()
+                .map(f64::from)
+                .collect(),
+        }
+    }
+
+    /// Minimum pool rows before scoring fans out over row blocks; smaller
+    /// pools are dominated by per-thread overhead and stay serial.
+    pub const PARALLEL_MIN_ROWS: usize = 2048;
+    /// Rows per parallel block: large enough that each block's matmuls
+    /// amortize dispatch, small enough to split a serving-scale pool
+    /// across every worker.
+    const PARALLEL_BLOCK_ROWS: usize = 1024;
+
+    /// Dispatch a per-block scorer serially or over the shared worker pool
+    /// depending on pool size. Output equals the serial pass bitwise
+    /// because every scoring path maps each row independently.
+    fn chunked<O, F>(&self, tuples: &[Vec<f64>], f: F) -> Vec<O>
+    where
+        O: Send,
+        F: Fn(&[Vec<f64>]) -> Vec<O> + Sync,
+    {
+        let threads = crate::parallel::default_threads();
+        if tuples.len() < Self::PARALLEL_MIN_ROWS || threads <= 1 {
+            return f(tuples);
+        }
+        crate::parallel::parallel_flat_map_chunks(tuples, Self::PARALLEL_BLOCK_ROWS, threads, f)
+    }
+
+    /// Serial `f64` scoring of one row block (see
+    /// [`UisClassifier::logits_batch`] for the algebra).
+    fn logits_block(&self, v_r: &[f64], tuples: &[Vec<f64>]) -> Vec<f64> {
         let x = Matrix::from_rows(tuples, self.cfg.nr);
         let r_emb = self.r_block.forward(v_r);
         let t_emb = self.t_block.forward_batch(&x);
@@ -235,13 +322,7 @@ impl UisClassifier {
             Some(mcp) => {
                 // r_const = Mcp_L·embR (constant over the pool); Mcp_R as
                 // its own matrix so the batch product is embτ·Mcp_Rᵀ.
-                let mut r_const = vec![0.0; ne];
-                let mut mcp_right = Matrix::zeros(ne, ne);
-                for (i, rc) in r_const.iter_mut().enumerate() {
-                    let row = mcp.row(i);
-                    *rc = lte_nn::matrix::dot(&row[..ne], &r_emb);
-                    mcp_right.row_mut(i).copy_from_slice(&row[ne..]);
-                }
+                let (r_const, mcp_right) = self.split_conversion(mcp, &r_emb);
                 let mut z = t_emb.matmul_nt(&mcp_right);
                 z.add_row_bias(&r_const);
                 z
@@ -258,6 +339,53 @@ impl UisClassifier {
             }
         };
         self.clf_block.forward_batch(&clf_in).data().to_vec()
+    }
+
+    /// Serial `f32` scoring of one row block: same algebra as
+    /// [`UisClassifier::logits_block`], with the pool-constant pieces
+    /// (UIS embedding, conversion split) computed once in `f64` and
+    /// demoted, and every per-tuple matmul on the `f32` kernels.
+    fn logits_block_f32(&self, v_r: &[f64], tuples: &[Vec<f64>]) -> Vec<f32> {
+        let x = Matrix32::from_rows(tuples, self.cfg.nr);
+        let r_emb = self.r_block.forward(v_r);
+        let t_emb = self.t_block.forward_batch_f32(&x);
+        let ne = self.cfg.ne;
+
+        let clf_in = match &self.conversion {
+            Some(mcp) => {
+                let (r_const, mcp_right) = self.split_conversion(mcp, &r_emb);
+                let r_const32: Vec<f32> = r_const.iter().map(|&v| v as f32).collect();
+                let mut z = t_emb.matmul_nt(&Matrix32::from_f64(&mcp_right));
+                z.add_row_bias(&r_const32);
+                z
+            }
+            None => {
+                let r_emb32: Vec<f32> = r_emb.iter().map(|&v| v as f32).collect();
+                let mut concat = Matrix32::zeros(tuples.len(), 2 * ne);
+                for r in 0..tuples.len() {
+                    let row = concat.row_mut(r);
+                    row[..ne].copy_from_slice(&r_emb32);
+                    row[ne..].copy_from_slice(t_emb.row(r));
+                }
+                concat
+            }
+        };
+        self.clf_block.forward_batch_f32(&clf_in).data().to_vec()
+    }
+
+    /// Split the conversion `Mcp·[embR | embτ]` into the pool-constant
+    /// left product `Mcp_L·embR` and the right half `Mcp_R` as its own
+    /// matrix (so the batch product is `embτ·Mcp_Rᵀ`).
+    fn split_conversion(&self, mcp: &Matrix, r_emb: &[f64]) -> (Vec<f64>, Matrix) {
+        let ne = self.cfg.ne;
+        let mut r_const = vec![0.0; ne];
+        let mut mcp_right = Matrix::zeros(ne, ne);
+        for (i, rc) in r_const.iter_mut().enumerate() {
+            let row = mcp.row(i);
+            *rc = lte_nn::matrix::dot(&row[..ne], r_emb);
+            mcp_right.row_mut(i).copy_from_slice(&row[ne..]);
+        }
+        (r_const, mcp_right)
     }
 
     /// Convenience: hard prediction (`logit > 0`).

@@ -213,6 +213,42 @@ impl Default for RefineConfig {
     }
 }
 
+/// Numeric precision of batched pool scoring (see
+/// [`UisClassifier::score_pool`](crate::classifier::UisClassifier::score_pool)).
+///
+/// The online loop re-scores the whole candidate pool through the
+/// classifier every round, but only ever *ranks* the results (argmax /
+/// threshold at 0) — so the scoring matmuls can run in `f32`, which the
+/// compiler vectorizes to twice the SIMD width at half the memory
+/// traffic. The `f64` path stays the reference: training, gradient
+/// checks, and any consumer that compares raw score values use it.
+///
+/// **Accuracy contract:** `Fast` logits track `Exact` logits to within
+/// `f32` round-off accumulated over the network's layers (empirically
+/// ~`1e-4` at reduced scale), and the resulting *ranking* agrees with
+/// `Exact` for every pair of candidates whose `f64` scores differ by more
+/// than that noise floor — pinned by proptests in
+/// `crates/core/tests/scoring_precision.rs`. Candidates inside the noise
+/// floor may swap; predictions may differ only for logits within the
+/// noise floor of 0.
+///
+/// ```
+/// use lte_core::config::{LteConfig, ScoringPrecision};
+///
+/// let mut cfg = LteConfig::reduced();
+/// assert_eq!(cfg.online.precision, ScoringPrecision::Exact); // default
+/// cfg.online.precision = ScoringPrecision::Fast; // opt in to f32 ranking
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringPrecision {
+    /// Full `f64` scoring — bit-stable, the gradcheck/training reference.
+    #[default]
+    Exact,
+    /// `f32` scoring for pool ranking — faster, rank-accurate outside the
+    /// `f32` noise floor.
+    Fast,
+}
+
 /// Online exploration parameters.
 #[derive(Debug, Clone)]
 pub struct OnlineConfig {
@@ -223,6 +259,8 @@ pub struct OnlineConfig {
     /// Training epochs for the `Basic` (from-scratch) variant. Basic gets
     /// the same step budget as Meta for a fair online-compute comparison.
     pub basic_steps: usize,
+    /// Pool-scoring precision (see [`ScoringPrecision`]).
+    pub precision: ScoringPrecision,
 }
 
 impl Default for OnlineConfig {
@@ -231,6 +269,7 @@ impl Default for OnlineConfig {
             adapt_steps: 5,
             lr: 0.05,
             basic_steps: 5,
+            precision: ScoringPrecision::Exact,
         }
     }
 }

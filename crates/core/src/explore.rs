@@ -139,9 +139,10 @@ pub fn explore_subspace(
     };
 
     // Batched pool scoring: encode the pool, then one forward_batch pass
-    // per block instead of a per-point dispatch loop.
+    // per block instead of a per-point dispatch loop. The precision knob
+    // picks the f64 reference kernels or the f32 ranking fast path.
     let encoded: Vec<Vec<f64>> = eval_rows.iter().map(|row| ctx.encode(row)).collect();
-    let scores = classifier.logits_batch(&v_r, &encoded);
+    let scores = classifier.score_pool(&v_r, &encoded, cfg.online.precision);
     let mut predictions: Vec<bool> = scores.iter().map(|&logit| logit > 0.0).collect();
 
     // (6) Few-shot optimizer for Meta*.

@@ -11,6 +11,13 @@
 
 /// Run jobs across worker threads (index-preserving). Uses a mutex-guarded
 /// iterator as the work queue; `threads` is clamped to the job count.
+///
+/// ```
+/// use lte_core::parallel::parallel_map;
+///
+/// let squares = parallel_map((0..8).collect::<Vec<_>>(), 4, |x| x * x);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]); // input order kept
+/// ```
 pub fn parallel_map<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
 where
     I: Send,
@@ -45,10 +52,58 @@ where
 }
 
 /// Default worker count: leave nothing idle but respect tiny machines.
+///
+/// ```
+/// use lte_core::parallel::default_threads;
+///
+/// assert!(default_threads() >= 1); // never zero, even when undetectable
+/// ```
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Fan a slice over worker threads in contiguous blocks of `block` items,
+/// flattening the per-block outputs back in input order — the row-block
+/// parallelism under large batched matmuls (each block of pool rows is
+/// scored independently; see
+/// [`UisClassifier::score_pool`](crate::classifier::UisClassifier::score_pool)).
+///
+/// Because blocks are contiguous and outputs are re-assembled in input
+/// order, the result is **identical to `f(items)`** whenever `f` maps each
+/// input row to outputs independent of the rest of its block — the
+/// invariant every batched scoring path here satisfies — regardless of
+/// `threads`, `block`, or scheduling.
+///
+/// ```
+/// use lte_core::parallel::parallel_flat_map_chunks;
+///
+/// let doubled = parallel_flat_map_chunks(&[1, 2, 3, 4, 5], 2, 4, |chunk| {
+///     chunk.iter().map(|x| x * 2).collect::<Vec<_>>()
+/// });
+/// assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+/// ```
+///
+/// # Panics
+/// Panics when `block` is zero and `items` is non-empty.
+pub fn parallel_flat_map_chunks<I, O, F>(items: &[I], block: usize, threads: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&[I]) -> Vec<O> + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if threads <= 1 || items.len() <= block {
+        return f(items);
+    }
+    let chunks: Vec<&[I]> = items.chunks(block).collect();
+    parallel_map(chunks, threads, f)
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
@@ -78,5 +133,19 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn flat_map_chunks_matches_serial() {
+        let items: Vec<i64> = (0..1000).collect();
+        let serial: Vec<i64> = items.iter().map(|x| x * 3 - 1).collect();
+        for (block, threads) in [(1, 1), (7, 2), (64, 4), (1000, 4), (2000, 4)] {
+            let out = parallel_flat_map_chunks(&items, block, threads, |chunk| {
+                chunk.iter().map(|x| x * 3 - 1).collect::<Vec<_>>()
+            });
+            assert_eq!(out, serial, "block {block}, {threads} threads");
+        }
+        let empty: Vec<i64> = parallel_flat_map_chunks(&[], 0, 4, |_: &[i64]| Vec::new());
+        assert!(empty.is_empty());
     }
 }

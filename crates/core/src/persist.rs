@@ -14,7 +14,7 @@
 //! [`PersistError`] instead of panicking on corrupt input.
 
 use crate::config::{
-    LteConfig, MetaTaskConfig, NetConfig, OnlineConfig, RefineConfig, TrainConfig,
+    LteConfig, MetaTaskConfig, NetConfig, OnlineConfig, RefineConfig, ScoringPrecision, TrainConfig,
 };
 use crate::context::SubspaceContext;
 use crate::memory::Memories;
@@ -30,7 +30,8 @@ use std::fs;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"LTEP";
-const VERSION: u8 = 1;
+// v2: OnlineConfig grew the scoring-precision knob.
+const VERSION: u8 = 2;
 
 /// Errors from saving/loading pipelines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -238,6 +239,10 @@ fn put_config(e: &mut Enc, c: &LteConfig) {
     e.usize(c.online.adapt_steps);
     e.f64(c.online.lr);
     e.usize(c.online.basic_steps);
+    e.u8(match c.online.precision {
+        ScoringPrecision::Exact => 0,
+        ScoringPrecision::Fast => 1,
+    });
     // EncoderConfig
     e.u8(match c.encoder.kind {
         EncoderKind::Auto => 0,
@@ -298,6 +303,11 @@ fn get_config(d: &mut Dec) -> Result<LteConfig, PersistError> {
         adapt_steps: d.usize()?,
         lr: d.f64()?,
         basic_steps: d.usize()?,
+        precision: match d.u8()? {
+            0 => ScoringPrecision::Exact,
+            1 => ScoringPrecision::Fast,
+            _ => return Err(PersistError::Corrupt("unknown scoring precision")),
+        },
     };
     let encoder = EncoderConfig {
         kind: match d.u8()? {

@@ -1,0 +1,176 @@
+//! Property tests pinning the `f32` fast-path scoring contract against the
+//! `f64` reference (see `ScoringPrecision`): Fast logits must track Exact
+//! logits within the accumulated-round-off tolerance, pool *ranking* must
+//! agree exactly for every pair separated by more than the `f32` noise
+//! floor, and the row-block parallel dispatch must be bit-identical to the
+//! serial pass at any worker count.
+
+use lte_core::classifier::{ClassifierConfig, UisClassifier};
+use lte_core::config::ScoringPrecision;
+use lte_core::parallel::parallel_flat_map_chunks;
+use lte_data::rng::seeded;
+use proptest::prelude::*;
+
+/// Build a deterministic classifier plus a pool of encoded tuples from a
+/// handful of generator knobs. Inputs stay O(1) in magnitude so the
+/// tolerance bound below is meaningful.
+fn setup(
+    seed: u64,
+    ku: usize,
+    nr: usize,
+    ne: usize,
+    use_conversion: bool,
+    pool: usize,
+) -> (UisClassifier, Vec<f64>, Vec<Vec<f64>>) {
+    let cfg = ClassifierConfig {
+        ku,
+        nr,
+        ne,
+        clf_hidden: ne,
+        use_conversion,
+    };
+    let clf = UisClassifier::new(cfg, &mut seeded(seed));
+    let v_r: Vec<f64> = (0..ku)
+        .map(|i| ((i as f64) * 0.37 + seed as f64).sin())
+        .collect();
+    let tuples: Vec<Vec<f64>> = (0..pool)
+        .map(|i| {
+            (0..nr)
+                .map(|j| (((i * nr + j) as f64) * 0.013 + seed as f64 * 0.1).sin())
+                .collect()
+        })
+        .collect();
+    (clf, v_r, tuples)
+}
+
+/// Indices of `scores` sorted best-first, ties broken by index so the
+/// order is total.
+fn ranking(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("finite logits")
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fast (f32) logits track Exact (f64) logits within f32 round-off
+    /// accumulated over the network depth, for both classifier variants.
+    #[test]
+    fn fast_logits_track_exact_within_tolerance(
+        seed in 0u64..500,
+        ku in 2usize..12,
+        nr in 2usize..12,
+        ne in 4usize..24,
+        use_conversion in proptest::bool::ANY,
+        pool in 1usize..96,
+    ) {
+        let (clf, v_r, tuples) = setup(seed, ku, nr, ne, use_conversion, pool);
+        let exact = clf.score_pool(&v_r, &tuples, ScoringPrecision::Exact);
+        let fast = clf.score_pool(&v_r, &tuples, ScoringPrecision::Fast);
+        prop_assert_eq!(exact.len(), fast.len());
+        // Per-layer error is ~eps_f32 * k * |activations|; inputs and
+        // weights here are O(1), so a generous linear-in-width bound
+        // catches real kernel bugs while tolerating round-off.
+        let width = ne.max(nr).max(ku) as f64;
+        let tol = 1e-5 * width;
+        for (i, (&e, &f)) in exact.iter().zip(&fast).enumerate() {
+            let scale = e.abs().max(1.0);
+            prop_assert!(
+                (e - f).abs() <= tol * scale,
+                "logit {} diverged: exact {} vs fast {} (tol {})",
+                i, e, f, tol * scale
+            );
+        }
+    }
+
+    /// Pool ranking agrees between Exact and Fast for every pair of points
+    /// separated by more than the f32 noise floor. Pairs inside the noise
+    /// floor may swap — that is the documented contract — so the assertion
+    /// only fires when a swapped pair's Exact gap exceeds the tolerance.
+    #[test]
+    fn fast_ranking_matches_exact_above_noise_floor(
+        seed in 0u64..500,
+        ne in 4usize..20,
+        use_conversion in proptest::bool::ANY,
+        pool in 2usize..128,
+    ) {
+        let (clf, v_r, tuples) = setup(seed, 6, 5, ne, use_conversion, pool);
+        let exact = clf.score_pool(&v_r, &tuples, ScoringPrecision::Exact);
+        let fast = clf.score_pool(&v_r, &tuples, ScoringPrecision::Fast);
+        let noise_floor = 1e-5 * (ne as f64)
+            * exact.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+        let exact_rank = ranking(&exact);
+        let fast_rank = ranking(&fast);
+        // Walk the two orders; any inversion between points whose Exact
+        // logits differ by more than the noise floor is a real bug.
+        let mut fast_pos = vec![0usize; pool];
+        for (pos, &i) in fast_rank.iter().enumerate() {
+            fast_pos[i] = pos;
+        }
+        for w in exact_rank.windows(2) {
+            let (hi, lo) = (w[0], w[1]);
+            let gap = exact[hi] - exact[lo];
+            if gap > noise_floor {
+                prop_assert!(
+                    fast_pos[hi] < fast_pos[lo],
+                    "rank inversion beyond noise floor: point {} (logit {}) \
+                     ranked below point {} (logit {}), gap {} > floor {}",
+                    hi, exact[hi], lo, exact[lo], gap, noise_floor
+                );
+            }
+        }
+    }
+
+    /// Row-block chunked scoring is bit-identical to the serial pass at
+    /// every block size and worker count, for both precisions. The public
+    /// `score_pool` only parallelizes beyond `PARALLEL_MIN_ROWS`, so this
+    /// drives the chunked path directly through `parallel_flat_map_chunks`
+    /// with forced thread counts (the CI container may expose one core).
+    #[test]
+    fn chunked_scoring_is_bitwise_serial(
+        seed in 0u64..200,
+        ne in 4usize..16,
+        use_conversion in proptest::bool::ANY,
+        pool in 1usize..160,
+        block in 1usize..64,
+        threads in 1usize..5,
+    ) {
+        let (clf, v_r, tuples) = setup(seed, 5, 4, ne, use_conversion, pool);
+        let serial_exact = clf.logits_batch(&v_r, &tuples);
+        let chunked_exact = parallel_flat_map_chunks(&tuples, block, threads, |chunk| {
+            clf.logits_batch(&v_r, chunk)
+        });
+        prop_assert_eq!(&serial_exact, &chunked_exact);
+        let serial_fast = clf.logits_batch_f32(&v_r, &tuples);
+        let chunked_fast = parallel_flat_map_chunks(&tuples, block, threads, |chunk| {
+            clf.logits_batch_f32(&v_r, chunk)
+        });
+        prop_assert_eq!(&serial_fast, &chunked_fast);
+    }
+}
+
+/// A pool large enough to cross `PARALLEL_MIN_ROWS` still matches a pool
+/// scored through the internal serial block path (exercised per-chunk),
+/// proving the public dispatch threshold changes nothing but scheduling.
+#[test]
+fn large_pool_parallel_dispatch_is_bitwise_serial() {
+    let (clf, v_r, tuples) = setup(7, 6, 5, 8, true, UisClassifier::PARALLEL_MIN_ROWS + 123);
+    let whole = clf.logits_batch(&v_r, &tuples);
+    // Reference: explicit 1-thread chunking at the same block size.
+    let reference =
+        parallel_flat_map_chunks(&tuples, 1024, 1, |chunk| clf.logits_batch(&v_r, chunk));
+    assert_eq!(whole, reference);
+    let fast = clf.score_pool(&v_r, &tuples, ScoringPrecision::Fast);
+    let fast_ref: Vec<f64> =
+        parallel_flat_map_chunks(&tuples, 1024, 1, |chunk| clf.logits_batch_f32(&v_r, chunk))
+            .into_iter()
+            .map(f64::from)
+            .collect();
+    assert_eq!(fast, fast_ref);
+}

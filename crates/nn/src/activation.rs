@@ -58,11 +58,42 @@ impl Activation {
             *x = self.apply(*x);
         }
     }
+
+    /// Apply the activation to a single-precision pre-activation value
+    /// (the pool-scoring fast path). Matches [`Activation::apply`] to
+    /// within `f32` round-off.
+    #[inline]
+    pub fn apply_f32(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => sigmoid_f32(x),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Apply in place over an `f32` slice.
+    pub fn apply_slice_f32(self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.apply_f32(*x);
+        }
+    }
 }
 
 /// Numerically stable logistic sigmoid.
 #[inline]
 pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable single-precision logistic sigmoid.
+#[inline]
+pub fn sigmoid_f32(x: f32) -> f32 {
     if x >= 0.0 {
         1.0 / (1.0 + (-x).exp())
     } else {
@@ -116,5 +147,28 @@ mod tests {
         let mut xs = [-1.0, 0.5, 2.0];
         Activation::Relu.apply_slice(&mut xs);
         assert_eq!(xs, [0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn f32_activations_track_f64() {
+        for act in [
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Identity,
+        ] {
+            for &x in &[-100.0f64, -1.7, -0.3, 0.0, 0.4, 2.2, 100.0] {
+                let exact = act.apply(x);
+                let fast = act.apply_f32(x as f32) as f64;
+                assert!(
+                    (exact - fast).abs() < 1e-6,
+                    "{act:?} at {x}: {exact} vs {fast}"
+                );
+            }
+        }
+        assert!(!sigmoid_f32(-100.0).is_nan());
+        let mut xs = [-1.0f32, 0.5, 2.0];
+        Activation::Relu.apply_slice_f32(&mut xs);
+        assert_eq!(xs, [0.0f32, 0.5, 2.0]);
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::init;
 use crate::matrix::Matrix;
+use crate::matrix32::Matrix32;
 use rand::Rng;
 
 /// A dense layer `z = W·x + b` with `W: out × in`.
@@ -57,10 +58,21 @@ impl Dense {
 
     /// Batched forward pass: `Z = X·Wᵀ + b` with one input tuple per row of
     /// `x` (`batch × in_dim`). Each output row agrees with
-    /// [`Dense::forward`] on the corresponding input row to within rounding
-    /// (the batch kernel sums in a different fixed grouping; see
-    /// [`Matrix::matmul_nt`]) and depends only on that input row, never on
-    /// the rest of the batch.
+    /// [`Dense::forward`] on the corresponding input row **bitwise** (the
+    /// batch kernel sums each output over the inputs in the same index
+    /// order; see [`Matrix::matmul_nt`]) and depends only on that input
+    /// row, never on the rest of the batch.
+    ///
+    /// ```
+    /// use lte_nn::{Dense, Matrix};
+    ///
+    /// let mut layer = Dense::zeros(3, 2);
+    /// layer.b = vec![1.0, -1.0];
+    /// let batch = Matrix::from_rows(&[vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]], 3);
+    /// let z = layer.forward_batch(&batch);
+    /// assert_eq!(z.rows(), 2);
+    /// assert_eq!(z.row(0), layer.forward(&[0.1, 0.2, 0.3]).as_slice());
+    /// ```
     ///
     /// # Panics
     /// Panics when `x.cols() != in_dim()`.
@@ -68,6 +80,24 @@ impl Dense {
         assert_eq!(x.cols(), self.in_dim(), "batch input width mismatch");
         let mut z = x.matmul_nt(&self.w);
         z.add_row_bias(&self.b);
+        z
+    }
+
+    /// Single-precision batched forward pass (the pool-scoring fast path).
+    /// Weights and biases are demoted to `f32` on the fly — they are tiny
+    /// next to the `batch × in_dim` operand — and the product runs on the
+    /// autovectorized [`Matrix32::matmul_nt`] kernel. Results match
+    /// [`Dense::forward_batch`] to within `f32` round-off; see
+    /// [`lte_nn::matrix32`](crate::matrix32) for the accuracy contract.
+    ///
+    /// # Panics
+    /// Panics when `x.cols() != in_dim()`.
+    pub fn forward_batch_f32(&self, x: &Matrix32) -> Matrix32 {
+        assert_eq!(x.cols(), self.in_dim(), "batch input width mismatch");
+        let w32 = Matrix32::from_f64(&self.w);
+        let b32: Vec<f32> = self.b.iter().map(|&v| v as f32).collect();
+        let mut z = x.matmul_nt(&w32);
+        z.add_row_bias(&b32);
         z
     }
 

@@ -25,11 +25,13 @@ pub mod gradcheck;
 pub mod init;
 pub mod loss;
 pub mod matrix;
+pub mod matrix32;
 pub mod mlp;
 pub mod optimizer;
 
 pub use activation::Activation;
 pub use dense::Dense;
 pub use matrix::Matrix;
+pub use matrix32::Matrix32;
 pub use mlp::{Mlp, MlpCache};
 pub use optimizer::{Adam, Sgd};

@@ -1,9 +1,13 @@
-//! Dense row-major matrices.
+//! Dense row-major matrices — the exact (`f64`) compute path.
 //!
 //! Sized for LTE's workloads: layer weights are at most a few hundred by a
-//! few hundred, and the memory modules are `m × ku` / `m × |θR|` with small
-//! `m` (2–6). Straightforward loops optimize well at these sizes; no BLAS
-//! needed.
+//! few hundred, the memory modules are `m × ku` / `m × |θR|` with small
+//! `m` (2–6), and batched pool scoring multiplies a `pool × features`
+//! operand against layer weights. The one genuinely hot kernel,
+//! [`Matrix::matmul_nt`], is cache-tiled and register-blocked but keeps a
+//! strict per-output summation order so batched results stay bit-identical
+//! to per-row evaluation; the reassociating SIMD fast path lives in
+//! [`crate::matrix32`]. No BLAS needed.
 
 use rand::Rng;
 
@@ -190,21 +194,42 @@ impl Matrix {
         }
     }
 
-    /// Blocked matrix product with a transposed right operand:
+    /// Tiled matrix product with a transposed right operand:
     /// `C = A·Bᵀ` where `A` is `n × k` and `B` is `m × k`, so
     /// `C[i][j] = ⟨A.row(i), B.row(j)⟩`.
     ///
     /// This is the batched-inference workhorse: a dense layer over a batch
     /// is `X·Wᵀ` with both operands row-major, so no transposition is ever
-    /// materialized. The kernel computes eight output columns per pass:
-    /// eight *independent* accumulator chains hide the floating-point add
-    /// latency that serializes a single running dot product, which is where
-    /// the batch path's speedup over a per-point [`dot`] loop comes from
-    /// (~1.7× on the dot itself, more end-to-end once per-point allocation
-    /// overhead is gone). Each chain still sums its column over `k` in
-    /// index order — the same additions in the same order as the per-row
-    /// [`Matrix::matvec`] path — so outputs are bit-identical to per-row
-    /// evaluation, and each output row depends only on its own input row.
+    /// materialized. Three layers of blocking:
+    ///
+    /// * **cache tiling** — `B`'s rows are processed in slabs sized to stay
+    ///   L1-resident (see [`l1_block_rows`]) while every row of `A` streams
+    ///   over the slab, so large `B` operands are loaded from memory once
+    ///   per slab instead of once per output row;
+    /// * **register tiling** — two `A` rows are computed per pass, sharing
+    ///   every load of the `B` slab between two output rows;
+    /// * **8-wide column unroll** — each pass keeps eight *independent*
+    ///   accumulator chains per `A` row, hiding the floating-point add
+    ///   latency that serializes a single running dot product.
+    ///
+    /// Every accumulator still sums its output's products over `k` in index
+    /// order — the same additions in the same order as the per-row
+    /// [`Matrix::matvec`] path — so outputs are **bit-identical** to per-row
+    /// evaluation regardless of shape or tiling, and each output row depends
+    /// only on its own input row. This is the exact (`f64`) reference path;
+    /// the [`Matrix32`](crate::matrix32::Matrix32) fast path trades this
+    /// guarantee for SIMD throughput.
+    ///
+    /// ```
+    /// use lte_nn::Matrix;
+    ///
+    /// // A: 2×3 batch, B: weight matrix stored row-major (2 outputs × 3 in).
+    /// let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    /// let b = Matrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+    /// let c = a.matmul_nt(&b);
+    /// assert_eq!(c.row(0), &[1.0, 2.0]); // ⟨row0, b_j⟩ picks components
+    /// assert_eq!(c.row(1), &[4.0, 5.0]);
+    /// ```
     ///
     /// # Panics
     /// Panics when the inner dimensions (`cols`) disagree.
@@ -213,26 +238,71 @@ impl Matrix {
         const COLS: usize = 8;
         let (n, m, k) = (self.rows, other.rows, self.cols);
         let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
-            let a = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out.data[i * m..(i + 1) * m];
-            let mut j = 0;
-            while j + COLS <= m {
-                let cols: [&[f64]; COLS] =
-                    std::array::from_fn(|c| &other.data[(j + c) * k..(j + c + 1) * k]);
-                let mut s = [0.0f64; COLS];
-                for (kk, &av) in a.iter().enumerate() {
-                    for c in 0..COLS {
-                        s[c] += av * cols[c][kk];
+        if n == 0 || m == 0 {
+            return out;
+        }
+        let slab = l1_block_rows(k, 8);
+        let mut j0 = 0;
+        while j0 < m {
+            let j1 = (j0 + slab).min(m);
+            // Two A rows per pass share every load of the B slab.
+            let mut i = 0;
+            while i + 2 <= n {
+                let (a0, a1) = {
+                    let rows = &self.data[i * k..(i + 2) * k];
+                    rows.split_at(k)
+                };
+                let (o0, o1) = {
+                    let rows = &mut out.data[i * m..(i + 2) * m];
+                    rows.split_at_mut(m)
+                };
+                let mut j = j0;
+                while j + COLS <= j1 {
+                    let cols: [&[f64]; COLS] =
+                        std::array::from_fn(|c| &other.data[(j + c) * k..(j + c + 1) * k]);
+                    let mut s0 = [0.0f64; COLS];
+                    let mut s1 = [0.0f64; COLS];
+                    for (kk, (&av0, &av1)) in a0.iter().zip(a1).enumerate() {
+                        for c in 0..COLS {
+                            let bv = cols[c][kk];
+                            s0[c] += av0 * bv;
+                            s1[c] += av1 * bv;
+                        }
                     }
+                    o0[j..j + COLS].copy_from_slice(&s0);
+                    o1[j..j + COLS].copy_from_slice(&s1);
+                    j += COLS;
                 }
-                orow[j..j + COLS].copy_from_slice(&s);
-                j += COLS;
+                while j < j1 {
+                    let b = &other.data[j * k..(j + 1) * k];
+                    o0[j] = dot(a0, b);
+                    o1[j] = dot(a1, b);
+                    j += 1;
+                }
+                i += 2;
             }
-            while j < m {
-                orow[j] = dot(a, &other.data[j * k..(j + 1) * k]);
-                j += 1;
+            if i < n {
+                let a = &self.data[i * k..(i + 1) * k];
+                let orow = &mut out.data[i * m..(i + 1) * m];
+                let mut j = j0;
+                while j + COLS <= j1 {
+                    let cols: [&[f64]; COLS] =
+                        std::array::from_fn(|c| &other.data[(j + c) * k..(j + c + 1) * k]);
+                    let mut s = [0.0f64; COLS];
+                    for (kk, &av) in a.iter().enumerate() {
+                        for c in 0..COLS {
+                            s[c] += av * cols[c][kk];
+                        }
+                    }
+                    orow[j..j + COLS].copy_from_slice(&s);
+                    j += COLS;
+                }
+                while j < j1 {
+                    orow[j] = dot(a, &other.data[j * k..(j + 1) * k]);
+                    j += 1;
+                }
             }
+            j0 = j1;
         }
         out
     }
@@ -256,6 +326,21 @@ impl Matrix {
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Rows of a `rows × k` right-operand slab that fit a conservative L1
+/// budget (~32 KiB), floored at `min_rows` so tiny inner dimensions never
+/// degenerate the tile below the kernel width. `elem_size` is the scalar
+/// width in bytes (8 for `f64`, 4 for `f32`).
+pub(crate) fn l1_block_rows_sized(k: usize, min_rows: usize, elem_size: usize) -> usize {
+    const L1_BUDGET_BYTES: usize = 32 * 1024;
+    (L1_BUDGET_BYTES / (elem_size * k.max(1))).clamp(min_rows, 512)
+}
+
+/// [`Matrix::matmul_nt`]'s cache tile: how many rows of the `f64` right
+/// operand are processed per slab. Exposed for the kernel benches.
+pub fn l1_block_rows(k: usize, min_rows: usize) -> usize {
+    l1_block_rows_sized(k, min_rows, std::mem::size_of::<f64>())
 }
 
 /// Cosine similarity; zero vectors yield 0.
@@ -381,9 +466,19 @@ mod tests {
 
     #[test]
     fn matmul_nt_matches_per_row_matvec_bitwise() {
-        // Shapes straddling the 8-column kernel width to exercise the
-        // column remainder path.
-        for (n, m, k) in [(1, 1, 1), (3, 5, 7), (8, 8, 8), (13, 9, 21), (4, 3, 64)] {
+        // Shapes straddling the 8-column kernel width, the 2-row unroll,
+        // and the L1 slab boundary (512 rows at small k) to exercise every
+        // remainder path.
+        for (n, m, k) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (8, 8, 8),
+            (13, 9, 21),
+            (4, 3, 64),
+            (2, 513, 3),
+            (5, 520, 9),
+            (1, 16, 1000),
+        ] {
             let a = Matrix::from_fn(n, k, |r, c| ((r * 31 + c * 17) as f64).sin());
             let b = Matrix::from_fn(m, k, |r, c| ((r * 13 + c * 7) as f64).cos());
             let c = a.matmul_nt(&b);
@@ -406,6 +501,33 @@ mod tests {
     #[should_panic(expected = "inner dimension mismatch")]
     fn matmul_nt_checks_inner_dims() {
         Matrix::zeros(2, 3).matmul_nt(&Matrix::zeros(2, 4));
+    }
+
+    #[test]
+    fn matmul_nt_degenerate_shapes() {
+        // Empty left operand.
+        let c = Matrix::zeros(0, 4).matmul_nt(&Matrix::zeros(3, 4));
+        assert_eq!((c.rows(), c.cols()), (0, 3));
+        // Empty right operand.
+        let c = Matrix::zeros(3, 4).matmul_nt(&Matrix::zeros(0, 4));
+        assert_eq!((c.rows(), c.cols()), (3, 0));
+        // Zero inner dimension: well-defined all-zeros output.
+        let c = Matrix::zeros(2, 0).matmul_nt(&Matrix::zeros(5, 0));
+        assert_eq!((c.rows(), c.cols()), (2, 5));
+        assert!(c.data().iter().all(|&v| v == 0.0));
+        // Single row × single column.
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.matmul_nt(&b).data(), &[32.0]);
+    }
+
+    #[test]
+    fn l1_block_rows_respects_bounds() {
+        // Tiny k: capped at 512 rows; huge k: floored at the kernel width.
+        assert_eq!(l1_block_rows(1, 8), 512);
+        assert_eq!(l1_block_rows(1_000_000, 8), 8);
+        // At k=64 the slab is 32 KiB / (8·64) = 64 rows.
+        assert_eq!(l1_block_rows(64, 8), 64);
     }
 
     #[test]

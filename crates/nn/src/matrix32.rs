@@ -1,0 +1,523 @@
+//! Single-precision matrices for the pool-scoring fast path.
+//!
+//! Pool ranking only needs the *order* of logits, not their 16th decimal:
+//! [`Matrix32`] stores `f32` and its [`Matrix32::matmul_nt`] kernel
+//! accumulates in lane-parallel partial sums, which (unlike the strictly
+//! ordered `f64` kernel in [`Matrix::matmul_nt`]) can run as packed FMAs —
+//! twice the SIMD width and half the memory traffic of the `f64` path.
+//!
+//! Two kernels sit behind [`Matrix32::matmul_nt`]:
+//!
+//! * an explicit AVX2+FMA microkernel (`std::arch`, runtime-detected with
+//!   `is_x86_feature_detected!`, so the portable build baseline stays
+//!   SSE2) processing a 2-row × 4-column register tile of fused 8-lane
+//!   multiply-adds,
+//! * a portable lane-parallel fallback the autovectorizer can turn into
+//!   packed (unfused) multiplies and adds on any target.
+//!
+//! ## Accuracy contract
+//!
+//! `f32` results agree with the `f64` reference to within a few units of
+//! `f32` round-off, i.e. a relative error on the order of `1e-6` scaled by
+//! the dot-product magnitude (`k · max|a| · max|b|`). They are **not**
+//! bit-comparable across kernels — the fused path rounds once per
+//! multiply-add, the portable path twice, so the same machine-level result
+//! is only guaranteed *within* one kernel, not across CPU generations —
+//! and must never feed gradient checks or parameter updates: training and
+//! gradcheck stay on the `f64` path. What the fast path *does* guarantee
+//! (pinned by proptests in `lte-core`) is that pool-scoring ranks agree
+//! with the `f64` path for every pair of candidates whose `f64` scores are
+//! separated by more than the `f32` noise floor.
+
+use crate::matrix::{l1_block_rows_sized, Matrix};
+
+/// SIMD lanes per accumulator chain: 8 × `f32` is one AVX2 register.
+const LANES: usize = 8;
+
+/// A dense row-major `rows × cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix32 {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Demote an `f64` matrix (each element rounded to nearest `f32`).
+    pub fn from_f64(m: &Matrix) -> Self {
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.data().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Build from a slice of equally sized `f64` rows, demoting each value.
+    /// `cols` must be passed explicitly so the empty batch keeps its width.
+    ///
+    /// # Panics
+    /// Panics when any row's length differs from `cols`.
+    pub fn from_rows(rows: &[Vec<f64>], cols: usize) -> Self {
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "row width mismatch");
+            data.extend(row.iter().map(|&v| v as f32));
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Promote back to `f64` (exact: every `f32` is representable).
+    pub fn to_f64(&self) -> Matrix {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| v as f64).collect(),
+        )
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Tiled `f32` matrix product with a transposed right operand:
+    /// `C = A·Bᵀ` (`A` is `n × k`, `B` is `m × k`,
+    /// `C[i][j] = ⟨A.row(i), B.row(j)⟩`).
+    ///
+    /// Dispatches at runtime to an explicit AVX2+FMA register-tile
+    /// microkernel when the CPU supports it, and otherwise to a portable
+    /// kernel with the same cache tiling as [`Matrix::matmul_nt`]
+    /// (L1-resident slabs of `B`) whose inner loop keeps eight
+    /// *lane-parallel* partial sums per output. Both kernels reassociate
+    /// the `k`-sum, so results differ from a strictly ordered scalar sum —
+    /// and between the two kernels — by normal `f32` round-off (see the
+    /// module docs for the accuracy contract). Each output row still
+    /// depends only on its own input row.
+    ///
+    /// ```
+    /// use lte_nn::{Matrix, Matrix32};
+    ///
+    /// let a = Matrix::from_fn(3, 40, |r, c| ((r * 40 + c) as f64 * 0.1).sin());
+    /// let b = Matrix::from_fn(5, 40, |r, c| ((r * 40 + c) as f64 * 0.2).cos());
+    /// let exact = a.matmul_nt(&b);
+    /// let fast = Matrix32::from_f64(&a).matmul_nt(&Matrix32::from_f64(&b));
+    /// for (x, y) in exact.data().iter().zip(fast.data()) {
+    ///     assert!((x - *y as f64).abs() < 1e-4); // f32 round-off, not drift
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    /// Panics when the inner dimensions (`cols`) disagree.
+    pub fn matmul_nt(&self, other: &Matrix32) -> Matrix32 {
+        assert_eq!(self.cols, other.cols, "matmul_nt inner dimension mismatch");
+        let (n, m) = (self.rows, other.rows);
+        let mut out = Matrix32::zeros(n, m);
+        if n == 0 || m == 0 {
+            return out;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if avx::available() {
+            // SAFETY: AVX2 and FMA presence was just verified at runtime.
+            unsafe { avx::matmul_nt(self, other, &mut out) };
+            return out;
+        }
+        self.matmul_nt_portable(other, &mut out);
+        out
+    }
+
+    /// Portable lane-parallel kernel behind [`Matrix32::matmul_nt`] — the
+    /// fallback when the AVX2+FMA microkernel is unavailable; the test
+    /// suite also pins it against the microkernel directly. `out` must
+    /// already be `n × m`.
+    fn matmul_nt_portable(&self, other: &Matrix32, out: &mut Matrix32) {
+        const COLS: usize = 8;
+        let (n, m, k) = (self.rows, other.rows, self.cols);
+        let k_main = k - k % LANES;
+        let slab = l1_block_rows_sized(k, COLS, std::mem::size_of::<f32>());
+        let mut j0 = 0;
+        while j0 < m {
+            let j1 = (j0 + slab).min(m);
+            for i in 0..n {
+                let a = &self.data[i * k..(i + 1) * k];
+                let orow = &mut out.data[i * m..(i + 1) * m];
+                let mut j = j0;
+                while j + COLS <= j1 {
+                    let cols: [&[f32]; COLS] =
+                        std::array::from_fn(|c| &other.data[(j + c) * k..(j + c + 1) * k]);
+                    // Eight lane-parallel partial sums per column; the
+                    // innermost loop is a packed FMA after vectorization.
+                    let mut acc = [[0.0f32; LANES]; COLS];
+                    let mut kk = 0;
+                    while kk < k_main {
+                        let ca: &[f32; LANES] = a[kk..kk + LANES].try_into().expect("lane chunk");
+                        for c in 0..COLS {
+                            let cb: &[f32; LANES] =
+                                cols[c][kk..kk + LANES].try_into().expect("lane chunk");
+                            let s = &mut acc[c];
+                            for l in 0..LANES {
+                                s[l] += ca[l] * cb[l];
+                            }
+                        }
+                        kk += LANES;
+                    }
+                    for c in 0..COLS {
+                        let mut s = 0.0f32;
+                        for lane in acc[c] {
+                            s += lane;
+                        }
+                        for kk in k_main..k {
+                            s += a[kk] * cols[c][kk];
+                        }
+                        orow[j + c] = s;
+                    }
+                    j += COLS;
+                }
+                while j < j1 {
+                    orow[j] = dot_f32(a, &other.data[j * k..(j + 1) * k]);
+                    j += 1;
+                }
+            }
+            j0 = j1;
+        }
+    }
+
+    /// Add a bias vector to every row in place (`A.row(i) += b` for all i).
+    ///
+    /// # Panics
+    /// Panics when `b.len() != cols`.
+    pub fn add_row_bias(&mut self, b: &[f32]) {
+        assert_eq!(b.len(), self.cols, "bias width mismatch");
+        for r in 0..self.rows {
+            for (v, bi) in self.row_mut(r).iter_mut().zip(b) {
+                *v += bi;
+            }
+        }
+    }
+}
+
+/// Explicit AVX2+FMA microkernel for [`Matrix32::matmul_nt`].
+///
+/// The build baseline is plain SSE2 so the workspace stays portable; this
+/// module upgrades the hot kernel at *runtime* when the CPU reports AVX2
+/// and FMA (`is_x86_feature_detected!` caches the CPUID probe, so the
+/// check is a load + branch per matmul).
+///
+/// The classifier's matmuls are tall and skinny (thousands of pool rows,
+/// `k = m = Ne ≈ 64`), where a dot-product kernel drowns in horizontal
+/// reductions: at `k = 64` each output is only eight 8-lane FMAs, against
+/// a ~6-op `hsum` + scalar store epilogue. This kernel is *broadcast*
+/// -structured instead: `B` is transposed once per call (`k × m`,
+/// L1-resident at classifier shapes, amortized over the row sweep), and
+/// each 8-row × 8-column register tile accumulates
+/// `acc[r] += broadcast(A[i+r][kk]) · Bᵀ[kk][j..j+8]` over the full `k`
+/// before eight plain vector stores — no horizontal reduction anywhere.
+/// Eight independent chains cover the FMA latency, and each `Bᵀ` load is
+/// shared by all eight rows. Ragged column tails use masked loads/stores,
+/// so any `m` (including the classifier head's `m = 1`) stays on the same
+/// path.
+///
+/// Each output's `k`-sum is strictly ordered but *fused* (one rounding
+/// per multiply-add, where the portable kernel rounds twice and
+/// reassociates into lanes), so the two kernels agree only within the
+/// module-level accuracy contract, never bitwise — pinned by
+/// `avx_and_portable_kernels_agree`.
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::Matrix32;
+    use std::arch::x86_64::*;
+
+    /// True when the running CPU supports the fused 8-lane path.
+    #[inline]
+    pub fn available() -> bool {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+
+    /// Rows per register tile: 8 accumulators is enough independent FMA
+    /// chains to saturate both FMA ports past the instruction latency,
+    /// while leaving registers for the shared `Bᵀ` load.
+    const ROWS: usize = 8;
+
+    /// Lane mask with the low `tail` of 8 lanes active (for ragged `m`).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn tail_mask(tail: usize) -> __m256i {
+        let lanes: [i32; 8] = std::array::from_fn(|l| if l < tail { -1 } else { 0 });
+        _mm256_loadu_si256(lanes.as_ptr() as *const __m256i)
+    }
+
+    /// Score `R` consecutive `A` rows starting at `i` against every column
+    /// block of `bt` (the `k × m` transpose of `B`).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn row_tile<const R: usize>(
+        a: &Matrix32,
+        bt: &[f32],
+        out: &mut Matrix32,
+        i: usize,
+        m: usize,
+        mask: __m256i,
+    ) {
+        let k = a.cols;
+        let arows: [&[f32]; R] = std::array::from_fn(|r| &a.data[(i + r) * k..(i + r + 1) * k]);
+        let m_main = m - m % 8;
+        let mut jb = 0;
+        while jb < m_main {
+            let mut acc = [_mm256_setzero_ps(); R];
+            for kk in 0..k {
+                let vb = _mm256_loadu_ps(bt.as_ptr().add(kk * m + jb));
+                for r in 0..R {
+                    let va = _mm256_set1_ps(*arows[r].get_unchecked(kk));
+                    acc[r] = _mm256_fmadd_ps(va, vb, acc[r]);
+                }
+            }
+            for (r, &v) in acc.iter().enumerate() {
+                _mm256_storeu_ps(out.data.as_mut_ptr().add((i + r) * m + jb), v);
+            }
+            jb += 8;
+        }
+        if jb < m {
+            // Ragged column tail: inactive mask lanes neither fault on
+            // load nor write on store.
+            let mut acc = [_mm256_setzero_ps(); R];
+            for kk in 0..k {
+                let vb = _mm256_maskload_ps(bt.as_ptr().add(kk * m + jb), mask);
+                for r in 0..R {
+                    let va = _mm256_set1_ps(*arows[r].get_unchecked(kk));
+                    acc[r] = _mm256_fmadd_ps(va, vb, acc[r]);
+                }
+            }
+            for (r, &v) in acc.iter().enumerate() {
+                _mm256_maskstore_ps(out.data.as_mut_ptr().add((i + r) * m + jb), mask, v);
+            }
+        }
+    }
+
+    /// `out = A·Bᵀ` with fused 8-lane multiply-adds. `out` must already be
+    /// `A.rows × B.rows`; shapes are the caller's contract
+    /// ([`Matrix32::matmul_nt`] checks them).
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 and FMA (check [`available`] first).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn matmul_nt(a: &Matrix32, b: &Matrix32, out: &mut Matrix32) {
+        let (n, m, k) = (a.rows, b.rows, a.cols);
+        // Transpose B once so the inner loop reads 8 consecutive output
+        // columns per load; O(m·k) against the O(n·m·k) sweep below.
+        let mut bt = vec![0.0f32; k * m];
+        for j in 0..m {
+            for kk in 0..k {
+                bt[kk * m + j] = b.data[j * k + kk];
+            }
+        }
+        let mask = tail_mask(m % 8);
+        let mut i = 0;
+        while i + ROWS <= n {
+            row_tile::<ROWS>(a, &bt, out, i, m, mask);
+            i += ROWS;
+        }
+        while i < n {
+            row_tile::<1>(a, &bt, out, i, m, mask);
+            i += 1;
+        }
+    }
+}
+
+/// Lane-parallel `f32` dot product (eight partial sums, reduced at the
+/// end); vectorizes to packed FMAs. Same reassociation caveat as
+/// [`Matrix32::matmul_nt`].
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ach = a.chunks_exact(LANES);
+    let mut bch = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut ach).zip(&mut bch) {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut s = 0.0f32;
+    for lane in acc {
+        s += lane;
+    }
+    for (x, y) in ach.remainder().iter().zip(bch.remainder()) {
+        s += x * y;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_round_trip() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.5, -3.0, 0.0, 4.0, 5.5]);
+        let m32 = Matrix32::from_f64(&m);
+        assert_eq!(m32.rows(), 2);
+        assert_eq!(m32.cols(), 3);
+        assert_eq!(m32.row(1), &[0.0f32, 4.0, 5.5]);
+        // These values are exactly representable, so the round trip is exact.
+        assert_eq!(m32.to_f64(), m);
+    }
+
+    #[test]
+    fn from_rows_demotes_and_keeps_width() {
+        let m = Matrix32::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]], 2);
+        assert_eq!(m.data(), &[1.0f32, 2.0, 3.0, 4.0]);
+        let empty = Matrix32::from_rows(&[], 5);
+        assert_eq!(empty.rows(), 0);
+        assert_eq!(empty.cols(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn from_rows_checks_widths() {
+        Matrix32::from_rows(&[vec![1.0], vec![1.0, 2.0]], 1);
+    }
+
+    #[test]
+    fn matmul_nt_matches_f64_reference_within_tolerance() {
+        // Shapes straddling the 8-column tile, the 8-lane k chunking, and
+        // the L1 slab boundary.
+        for (n, m, k) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (8, 8, 8),
+            (13, 9, 21),
+            (4, 3, 64),
+            (2, 513, 3),
+            (7, 70, 33),
+            (1, 16, 1000),
+        ] {
+            let a = Matrix::from_fn(n, k, |r, c| ((r * 31 + c * 17) as f64).sin());
+            let b = Matrix::from_fn(m, k, |r, c| ((r * 13 + c * 7) as f64).cos());
+            let exact = a.matmul_nt(&b);
+            let fast = Matrix32::from_f64(&a).matmul_nt(&Matrix32::from_f64(&b));
+            assert_eq!(fast.rows(), n);
+            assert_eq!(fast.cols(), m);
+            let tol = 1e-6 * (k as f64).max(1.0) * 4.0;
+            for (x, y) in exact.data().iter().zip(fast.data()) {
+                assert!(
+                    (x - *y as f64).abs() <= tol,
+                    "{n}x{m}x{k}: {x} vs {y} (tol {tol})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_degenerate_shapes() {
+        let c = Matrix32::zeros(0, 4).matmul_nt(&Matrix32::zeros(3, 4));
+        assert_eq!((c.rows(), c.cols()), (0, 3));
+        let c = Matrix32::zeros(3, 4).matmul_nt(&Matrix32::zeros(0, 4));
+        assert_eq!((c.rows(), c.cols()), (3, 0));
+        let c = Matrix32::zeros(2, 0).matmul_nt(&Matrix32::zeros(5, 0));
+        assert_eq!((c.rows(), c.cols()), (2, 5));
+        assert!(c.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_nt_checks_inner_dims() {
+        Matrix32::zeros(2, 3).matmul_nt(&Matrix32::zeros(2, 4));
+    }
+
+    /// The runtime-dispatched microkernel and the portable fallback must
+    /// agree within the accuracy contract on every tile shape (they are
+    /// not bit-comparable: fused vs unfused rounding). No-op off x86_64 or
+    /// on CPUs without AVX2+FMA, where dispatch already takes the portable
+    /// path.
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn avx_and_portable_kernels_agree() {
+        if !avx::available() {
+            return;
+        }
+        for (n, m, k) in [
+            (1, 1, 1),
+            (2, 4, 8),
+            (3, 5, 7),
+            (13, 9, 21),
+            (5, 6, 64),
+            (2, 513, 3),
+            (7, 70, 33),
+            (1, 16, 1000),
+        ] {
+            let a = Matrix32::from_f64(&Matrix::from_fn(n, k, |r, c| {
+                ((r * 31 + c * 17) as f64).sin()
+            }));
+            let b = Matrix32::from_f64(&Matrix::from_fn(m, k, |r, c| {
+                ((r * 13 + c * 7) as f64).cos()
+            }));
+            let mut fused = Matrix32::zeros(n, m);
+            // SAFETY: guarded by the `avx::available()` check above.
+            unsafe { avx::matmul_nt(&a, &b, &mut fused) };
+            let mut portable = Matrix32::zeros(n, m);
+            a.matmul_nt_portable(&b, &mut portable);
+            let tol = 1e-6 * (k as f32).max(1.0) * 4.0;
+            for (x, y) in fused.data().iter().zip(portable.data()) {
+                assert!((x - y).abs() <= tol, "{n}x{m}x{k}: {x} vs {y} (tol {tol})");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_f32_matches_scalar() {
+        for len in [0, 1, 7, 8, 9, 31, 64] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.3).sin()).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).cos()).collect();
+            let scalar: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot_f32(&a, &b) - scalar).abs() < 1e-4, "len {len}");
+        }
+    }
+
+    #[test]
+    fn add_row_bias_broadcasts() {
+        let mut m = Matrix32::zeros(2, 3);
+        m.add_row_bias(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(0), &[1.0f32, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[1.0f32, 2.0, 3.0]);
+    }
+}

@@ -11,6 +11,7 @@
 use crate::activation::Activation;
 use crate::dense::Dense;
 use crate::matrix::Matrix;
+use crate::matrix32::Matrix32;
 use rand::Rng;
 
 /// A sequential stack of dense layers with per-layer activations.
@@ -137,12 +138,23 @@ impl Mlp {
 
     /// Batched forward pass: one input tuple per row of `x`
     /// (`batch × in_dim`), one output per row of the result
-    /// (`batch × out_dim`). The batch form is the serving fast path: pool
+    /// (`batch × out_dim`). The batch form is the serving hot path: pool
     /// scoring does one matrix product per layer instead of a per-point
     /// `dot` loop. Each output row agrees with [`Mlp::forward`] on the
-    /// corresponding input row to within rounding (see
-    /// [`Matrix::matmul_nt`] for the summation-order caveat) and depends
+    /// corresponding input row bitwise (see [`Matrix::matmul_nt`]: the
+    /// tiled kernel preserves per-output summation order) and depends
     /// only on that row — batch composition never changes a row's result.
+    ///
+    /// ```
+    /// use lte_nn::{Activation, Matrix, Mlp};
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let mlp = Mlp::new(&[4, 8, 1], Activation::Relu, Activation::Identity, &mut rng);
+    /// let rows = vec![vec![0.1, 0.2, 0.3, 0.4], vec![0.5, 0.6, 0.7, 0.8]];
+    /// let batch = mlp.forward_batch(&Matrix::from_rows(&rows, 4));
+    /// assert_eq!(batch.row(1), mlp.forward(&rows[1]).as_slice());
+    /// ```
     ///
     /// # Panics
     /// Panics when `x.cols() != in_dim()`.
@@ -152,6 +164,27 @@ impl Mlp {
         for (layer, act) in self.layers.iter().zip(&self.acts) {
             let mut z = layer.forward_batch(cur.as_ref().unwrap_or(x));
             act.apply_slice(z.data_mut());
+            cur = Some(z);
+        }
+        cur.expect("an MLP has at least one layer")
+    }
+
+    /// Single-precision batched forward pass: [`Mlp::forward_batch`] on
+    /// the autovectorized `f32` kernels ([`Dense::forward_batch_f32`]).
+    /// Use for pool *ranking*, where only the order of outputs matters:
+    /// outputs track the `f64` path to within `f32` round-off accumulated
+    /// over the layers (see [`lte_nn::matrix32`](crate::matrix32) for the
+    /// contract), but are not bit-comparable to it, and the `f64` path
+    /// remains the reference for gradcheck and training.
+    ///
+    /// # Panics
+    /// Panics when `x.cols() != in_dim()`.
+    pub fn forward_batch_f32(&self, x: &Matrix32) -> Matrix32 {
+        assert_eq!(x.cols(), self.in_dim(), "batch input width mismatch");
+        let mut cur = None;
+        for (layer, act) in self.layers.iter().zip(&self.acts) {
+            let mut z = layer.forward_batch_f32(cur.as_ref().unwrap_or(x));
+            act.apply_slice_f32(z.data_mut());
             cur = Some(z);
         }
         cur.expect("an MLP has at least one layer")

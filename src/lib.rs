@@ -51,7 +51,7 @@ pub use lte_serve as serve;
 
 /// Everything needed for the common exploration workflow.
 pub mod prelude {
-    pub use lte_core::config::LteConfig;
+    pub use lte_core::config::{LteConfig, ScoringPrecision};
     pub use lte_core::explore::Variant;
     pub use lte_core::metrics::ConfusionMatrix;
     pub use lte_core::oracle::{

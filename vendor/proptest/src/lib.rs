@@ -6,7 +6,7 @@
 //!
 //! * the [`Strategy`] trait with [`Strategy::prop_map`],
 //! * range strategies (`-100.0..100.0f64`, `1usize..8`, ...), tuple
-//!   strategies, [`Just`], [`bool::ANY`](crate::bool::ANY),
+//!   strategies, [`Just`], [`bool::ANY`],
 //! * [`collection::vec`] with exact or ranged sizes,
 //! * [`sample::subsequence`],
 //! * the [`proptest!`] macro with `#![proptest_config(...)]` support and
