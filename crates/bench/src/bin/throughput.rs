@@ -1,4 +1,6 @@
-//! Serving-throughput sweep (see lte_bench::experiments::throughput).
+//! Serving-throughput comparison: per-session engine vs the fused
+//! cross-session scoring service, writing `BENCH_throughput.json`
+//! (see lte_bench::experiments::throughput).
 
 use lte_bench::{cli::Options, env::BenchEnv};
 
@@ -7,11 +9,7 @@ fn main() {
     let env = BenchEnv::from_options(&opts);
     let out = opts.out.as_deref();
     match opts.subcommand() {
-        None => lte_bench::experiments::throughput::run(&env, out),
-        Some(sub) => dispatch(&env, out, sub),
+        None => lte_bench::experiments::throughput::run(&env, out, opts.smoke),
+        Some(sub) => lte_bench::experiments::throughput::subcommand(&env, out, opts.smoke, sub),
     }
-}
-
-fn dispatch(env: &BenchEnv, out: Option<&std::path::Path>, sub: &str) {
-    lte_bench::experiments::throughput::subcommand(env, out, sub);
 }

@@ -38,6 +38,22 @@ pub fn run(env: &BenchEnv, out: Option<&Path>, smoke: bool) {
 
     let sessions = if smoke { SMOKE_SESSIONS } else { SESSIONS };
     let scenario = ScenarioConfig::standard_mix(sessions, derive_seed(env.seed, 920));
+
+    // Cohort apportionment is deterministic in the config alone
+    // (largest-remainder, ties broken by cohort index) — print it up front
+    // so a changed layout is visible before any session runs.
+    let slots = scenario.assignments();
+    let layout: Vec<String> = scenario
+        .cohorts
+        .iter()
+        .enumerate()
+        .map(|(c, cohort)| {
+            let n = slots.iter().filter(|&&s| s == c).count();
+            format!("{} {}", n, cohort.name)
+        })
+        .collect();
+    println!("cohort layout: {}", layout.join(", "));
+
     let engine = SessionEngine::new(Arc::new(pipeline));
     let (_, report) = engine.run_scenario(&scenario, &pool);
 

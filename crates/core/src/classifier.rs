@@ -48,6 +48,76 @@ impl ClassifierConfig {
 /// One labeled training example: encoded tuple features plus label.
 pub type Example = (Vec<f64>, bool);
 
+/// One session's pool-scoring request inside a fused cross-session batch:
+/// which classifier scores it, the session's UIS feature vector, the
+/// encoded pool rows, and the precision knob. See [`score_pool_fused`].
+pub struct PoolScoreRequest<'a> {
+    /// The (adapted) classifier that scores this request's rows.
+    pub classifier: &'a UisClassifier,
+    /// The session's expanded UIS feature vector `vR`.
+    pub v_r: &'a [f64],
+    /// Encoded pool rows to score.
+    pub rows: &'a [Vec<f64>],
+    /// Scoring precision for this request.
+    pub precision: crate::config::ScoringPrecision,
+}
+
+/// Score many sessions' pools as **one fused batch** over the shared worker
+/// pool, returning one logit vector per request (in request order).
+///
+/// Each request keeps its own classifier, `vR`, and precision — fusion
+/// happens at the dispatch level: every request's rows are cut into the
+/// same contiguous blocks as [`UisClassifier::score_pool`] and all blocks
+/// from all requests are fanned across one pool via
+/// [`parallel_flat_map_groups`](crate::parallel::parallel_flat_map_groups).
+/// Crucially, the [`UisClassifier::PARALLEL_MIN_ROWS`] cutoff is checked
+/// against the **fused** row total, not each request's pool, so many small
+/// per-session pools still get parallel dispatch once their sum is large
+/// enough.
+///
+/// Every output vector is bit-identical to the per-request
+/// `request.classifier.score_pool(request.v_r, request.rows,
+/// request.precision)` call at any worker count, because every scoring
+/// path maps each row independently of its block (the invariant the
+/// serving determinism suite pins).
+pub fn score_pool_fused(requests: &[PoolScoreRequest<'_>]) -> Vec<Vec<f64>> {
+    score_pool_fused_with(requests, crate::parallel::default_threads())
+}
+
+/// [`score_pool_fused`] with an explicit worker count — the serving engine
+/// passes its configured worker budget; tests force `threads > 1` to
+/// exercise the fused parallel path on single-core machines.
+pub fn score_pool_fused_with(requests: &[PoolScoreRequest<'_>], threads: usize) -> Vec<Vec<f64>> {
+    use crate::config::ScoringPrecision;
+    for req in requests {
+        assert_eq!(req.v_r.len(), req.classifier.cfg.ku, "vR width mismatch");
+    }
+    let fused_rows: usize = requests.iter().map(|r| r.rows.len()).sum();
+    let threads = if fused_rows >= UisClassifier::PARALLEL_MIN_ROWS {
+        threads
+    } else {
+        1
+    };
+    let groups: Vec<&[Vec<f64>]> = requests.iter().map(|r| r.rows).collect();
+    crate::parallel::parallel_flat_map_groups(
+        &groups,
+        UisClassifier::PARALLEL_BLOCK_ROWS,
+        threads,
+        |g, chunk| {
+            let req = &requests[g];
+            match req.precision {
+                ScoringPrecision::Exact => req.classifier.logits_block(req.v_r, chunk),
+                ScoringPrecision::Fast => req
+                    .classifier
+                    .logits_block_f32(req.v_r, chunk)
+                    .into_iter()
+                    .map(f64::from)
+                    .collect(),
+            }
+        },
+    )
+}
+
 /// Forward-pass cache for backprop.
 pub struct ForwardCache {
     r_cache: MlpCache,

@@ -57,27 +57,45 @@ pub struct ExploreOutcome {
     pub cs_labels: Vec<bool>,
 }
 
-/// Run the online exploration of one subspace.
+/// The label-and-adapt half of one exploration round, stopped right before
+/// pool scoring — so a serving layer can collect many sessions' prepared
+/// rounds and score their pools as one fused batch (see
+/// [`crate::classifier::score_pool_fused`]).
+#[derive(Debug, Clone)]
+pub struct PreparedRound {
+    /// The adapted (or from-scratch-trained) classifier for this round.
+    pub classifier: UisClassifier,
+    /// The session's expanded UIS feature vector `vR`.
+    pub v_r: Vec<f64>,
+    /// The labels the user gave to the `Cs` initial tuples.
+    pub cs_labels: Vec<bool>,
+    /// Labels consumed (`ks + Δ`).
+    pub labels_used: usize,
+    /// Wall-clock seconds spent on adaptation/training.
+    pub prep_seconds: f64,
+}
+
+/// Steps (1)–(4) of one round: collect the initial labels, build the UIS
+/// feature vector, and adapt/train the classifier — everything up to (but
+/// excluding) pool scoring. [`explore_subspace`] is exactly
+/// `prepare_round` → `score_pool` → [`finish_round`]; the cross-session
+/// scoring service runs the same three stages with the middle one fused
+/// across sessions.
 ///
-/// * `ctx` — the offline-precomputed subspace state,
-/// * `learner` — the pre-trained meta-learner (required for
-///   `Meta`/`MetaStar`; ignored by `Basic`),
-/// * `oracle` — the simulated user,
-/// * `eval_rows` — raw subspace rows to predict (the retrieval pool),
-/// * `seed` — drives the Δ random initial tuples and `Basic`'s
-///   initialization.
+/// Consumes the same RNG stream as [`explore_subspace`] (Δ sampling, then
+/// `Basic`'s initialization), so for equal inputs the two paths produce
+/// bit-identical classifiers.
 ///
 /// # Panics
 /// Panics when `learner` is `None` for the meta variants.
-pub fn explore_subspace(
+pub fn prepare_round(
     ctx: &SubspaceContext,
     learner: Option<&MetaLearner>,
     oracle: &dyn SubspaceOracle,
-    eval_rows: &[Vec<f64>],
     cfg: &LteConfig,
     variant: Variant,
     seed: u64,
-) -> ExploreOutcome {
+) -> PreparedRound {
     let mut rng = seeded(seed);
 
     // (1, 2) Initial tuples and user labels. The Cs centers come first —
@@ -100,9 +118,9 @@ pub fn explore_subspace(
     let l = expansion_degree(ctx.cu().len(), cfg.net.expansion_frac);
     let v_r = uis_feature_vector(&cs_labels, ctx.ps(), l);
 
-    // (4, 5) Adapt / train, then predict the evaluation pool. Online label
-    // sets are imbalanced when the interest region is small, so positive
-    // examples are re-weighted (identically for every variant).
+    // (4) Adapt / train. Online label sets are imbalanced when the
+    // interest region is small, so positive examples are re-weighted
+    // (identically for every variant).
     let pos_weight = UisClassifier::balance_weight(&examples);
     let start = Instant::now();
     let classifier = match variant {
@@ -137,30 +155,100 @@ pub fn explore_subspace(
                 .classifier
         }
     };
+    let prep_seconds = start.elapsed().as_secs_f64();
 
-    // Batched pool scoring: encode the pool, then one forward_batch pass
-    // per block instead of a per-point dispatch loop. The precision knob
-    // picks the f64 reference kernels or the f32 ranking fast path.
-    let encoded: Vec<Vec<f64>> = eval_rows.iter().map(|row| ctx.encode(row)).collect();
-    let scores = classifier.score_pool(&v_r, &encoded, cfg.online.precision);
+    PreparedRound {
+        classifier,
+        v_r,
+        cs_labels,
+        labels_used,
+        prep_seconds,
+    }
+}
+
+/// Step (6) of one round: turn pool logits into predictions and apply
+/// `Meta*`'s geometric revision, assembling the final [`ExploreOutcome`].
+///
+/// * `eval_rows` — the **raw** (projected, un-encoded) pool rows the
+///   `scores` were computed over, needed by the geometric revision,
+/// * `scores` — the pool logits from scoring `prepared.classifier` on the
+///   encoded pool (per session or fused — bit-identical either way),
+/// * `score_seconds` — the caller-measured scoring wall-clock, folded into
+///   `online_seconds` next to adaptation and revision time.
+pub fn finish_round(
+    ctx: &SubspaceContext,
+    prepared: PreparedRound,
+    eval_rows: &[Vec<f64>],
+    scores: Vec<f64>,
+    cfg: &LteConfig,
+    variant: Variant,
+    score_seconds: f64,
+) -> ExploreOutcome {
+    assert_eq!(scores.len(), eval_rows.len(), "one score per pool row");
+    let start = Instant::now();
     let mut predictions: Vec<bool> = scores.iter().map(|&logit| logit > 0.0).collect();
 
     // (6) Few-shot optimizer for Meta*.
     if variant == Variant::MetaStar {
-        let regions = build_subregions(ctx, &cs_labels, &cfg.refine);
+        let regions = build_subregions(ctx, &prepared.cs_labels, &cfg.refine);
         for (row, pred) in eval_rows.iter().zip(predictions.iter_mut()) {
             *pred = regions.revise(row, *pred);
         }
     }
-    let online_seconds = start.elapsed().as_secs_f64();
+    let online_seconds = prepared.prep_seconds + score_seconds + start.elapsed().as_secs_f64();
 
     ExploreOutcome {
         predictions,
         scores,
-        labels_used,
+        labels_used: prepared.labels_used,
         online_seconds,
-        cs_labels,
+        cs_labels: prepared.cs_labels,
     }
+}
+
+/// Run the online exploration of one subspace.
+///
+/// * `ctx` — the offline-precomputed subspace state,
+/// * `learner` — the pre-trained meta-learner (required for
+///   `Meta`/`MetaStar`; ignored by `Basic`),
+/// * `oracle` — the simulated user,
+/// * `eval_rows` — raw subspace rows to predict (the retrieval pool),
+/// * `seed` — drives the Δ random initial tuples and `Basic`'s
+///   initialization.
+///
+/// Composed from [`prepare_round`] and [`finish_round`] around one
+/// (5) batched pool-scoring call: encode the pool, then one
+/// `forward_batch` pass per block instead of a per-point dispatch loop,
+/// with the precision knob picking the f64 reference kernels or the f32
+/// ranking fast path.
+///
+/// # Panics
+/// Panics when `learner` is `None` for the meta variants.
+pub fn explore_subspace(
+    ctx: &SubspaceContext,
+    learner: Option<&MetaLearner>,
+    oracle: &dyn SubspaceOracle,
+    eval_rows: &[Vec<f64>],
+    cfg: &LteConfig,
+    variant: Variant,
+    seed: u64,
+) -> ExploreOutcome {
+    let prepared = prepare_round(ctx, learner, oracle, cfg, variant, seed);
+    let start = Instant::now();
+    let encoded: Vec<Vec<f64>> = eval_rows.iter().map(|row| ctx.encode(row)).collect();
+    let scores = prepared
+        .classifier
+        .score_pool(&prepared.v_r, &encoded, cfg.online.precision);
+    let score_seconds = start.elapsed().as_secs_f64();
+    finish_round(
+        ctx,
+        prepared,
+        eval_rows,
+        scores,
+        cfg,
+        variant,
+        score_seconds,
+    )
 }
 
 #[cfg(test)]

@@ -106,6 +106,70 @@ where
         .collect()
 }
 
+/// Fan many independent row groups over **one** worker pool: every group is
+/// cut into contiguous blocks of `block` items, all blocks from all groups
+/// are dispatched together through [`parallel_map`], and the per-block
+/// outputs are reassembled per group in input order.
+///
+/// This is the fused-dispatch shape of cross-session pool scoring: each
+/// group is one session's retrieval pool (scored by that session's adapted
+/// classifier via the group index handed to `f`), and fusing the blocks
+/// means the parallel threshold and the load balancing see the *combined*
+/// batch, not each small per-session pool. Because blocks are contiguous
+/// and [`parallel_map`] preserves order, `result[g]` is identical to
+/// `f(g, groups[g])` whenever `f` maps each row independently of the rest
+/// of its block — regardless of `threads`, `block`, or how groups
+/// interleave.
+///
+/// With `threads <= 1` each group is processed in one `f(g, group)` call,
+/// exactly like the serial path of
+/// [`UisClassifier::score_pool`](crate::classifier::UisClassifier::score_pool).
+///
+/// ```
+/// use lte_core::parallel::parallel_flat_map_groups;
+///
+/// let a = vec![1, 2, 3];
+/// let b = vec![10, 20];
+/// let out = parallel_flat_map_groups(&[&a, &b], 2, 4, |g, chunk| {
+///     chunk.iter().map(|x| x + g as i32).collect::<Vec<_>>()
+/// });
+/// assert_eq!(out, vec![vec![1, 2, 3], vec![11, 21]]);
+/// ```
+///
+/// # Panics
+/// Panics when `block` is zero and any group is non-empty.
+pub fn parallel_flat_map_groups<I, O, F>(
+    groups: &[&[I]],
+    block: usize,
+    threads: usize,
+    f: F,
+) -> Vec<Vec<O>>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &[I]) -> Vec<O> + Sync,
+{
+    if threads <= 1 || groups.iter().map(|g| g.len()).sum::<usize>() <= block {
+        return groups.iter().enumerate().map(|(g, it)| f(g, it)).collect();
+    }
+    let mut jobs: Vec<(usize, &[I])> = Vec::new();
+    for (g, items) in groups.iter().enumerate() {
+        if items.is_empty() {
+            continue;
+        }
+        assert!(block > 0, "block size must be positive");
+        for chunk in items.chunks(block) {
+            jobs.push((g, chunk));
+        }
+    }
+    let parts = parallel_map(jobs, threads, |(g, chunk)| (g, f(g, chunk)));
+    let mut result: Vec<Vec<O>> = groups.iter().map(|g| Vec::with_capacity(g.len())).collect();
+    for (g, mut part) in parts {
+        result[g].append(&mut part);
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +211,26 @@ mod tests {
         }
         let empty: Vec<i64> = parallel_flat_map_chunks(&[], 0, 4, |_: &[i64]| Vec::new());
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn flat_map_groups_matches_per_group_serial() {
+        let groups_owned: Vec<Vec<i64>> = vec![
+            (0..5).collect(),
+            Vec::new(),
+            (100..137).collect(),
+            vec![7],
+            (1000..1003).collect(),
+        ];
+        let groups: Vec<&[i64]> = groups_owned.iter().map(|g| g.as_slice()).collect();
+        let f =
+            |g: usize, chunk: &[i64]| chunk.iter().map(|x| x * 3 + g as i64).collect::<Vec<i64>>();
+        let serial: Vec<Vec<i64>> = groups.iter().enumerate().map(|(g, it)| f(g, it)).collect();
+        for (block, threads) in [(1, 1), (1, 4), (4, 2), (16, 4), (64, 3)] {
+            let out = parallel_flat_map_groups(&groups, block, threads, f);
+            assert_eq!(out, serial, "block {block}, {threads} threads");
+        }
+        let none: Vec<Vec<i64>> = parallel_flat_map_groups(&[], 0, 4, |_, _: &[i64]| Vec::new());
+        assert!(none.is_empty());
     }
 }

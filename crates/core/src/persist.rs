@@ -30,7 +30,10 @@ use std::fs;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"LTEP";
-// v2: OnlineConfig grew the scoring-precision knob.
+// v1: initial format. v2: OnlineConfig grew the scoring-precision knob
+// (v1 files load with the precision defaulted to `Exact`, the v1-era
+// behavior).
+const MIN_VERSION: u8 = 1;
 const VERSION: u8 = 2;
 
 /// Errors from saving/loading pipelines.
@@ -40,18 +43,28 @@ pub enum PersistError {
     Io(String),
     /// Input does not start with the `LTEP` magic.
     BadMagic,
-    /// Unsupported format version.
-    BadVersion(u8),
+    /// Format version this build cannot read: 0, or newer than
+    /// [`FORMAT_VERSION`] (decoding a future layout with today's field
+    /// order would misparse silently, so it is refused up front).
+    UnsupportedVersion(u8),
     /// Truncated or structurally invalid payload.
     Corrupt(&'static str),
 }
+
+/// The newest LTEP format version this build writes and reads. Older
+/// versions back to v1 still load, with absent knobs defaulted.
+pub const FORMAT_VERSION: u8 = VERSION;
 
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::BadMagic => write!(f, "not an LTE pipeline file"),
-            PersistError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            PersistError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported format version {v} (this build reads versions \
+                 {MIN_VERSION} through {VERSION})"
+            ),
             PersistError::Corrupt(what) => write!(f, "corrupt pipeline file: {what}"),
         }
     }
@@ -202,7 +215,7 @@ impl<'a> Dec<'a> {
 
 // ----------------------------------------------------------- config codec
 
-fn put_config(e: &mut Enc, c: &LteConfig) {
+fn put_config(e: &mut Enc, c: &LteConfig, version: u8) {
     // MetaTaskConfig
     e.usize(c.task.ku);
     e.usize(c.task.ks);
@@ -239,10 +252,13 @@ fn put_config(e: &mut Enc, c: &LteConfig) {
     e.usize(c.online.adapt_steps);
     e.f64(c.online.lr);
     e.usize(c.online.basic_steps);
-    e.u8(match c.online.precision {
-        ScoringPrecision::Exact => 0,
-        ScoringPrecision::Fast => 1,
-    });
+    // The precision knob exists from v2 on; v1 had no byte here.
+    if version >= 2 {
+        e.u8(match c.online.precision {
+            ScoringPrecision::Exact => 0,
+            ScoringPrecision::Fast => 1,
+        });
+    }
     // EncoderConfig
     e.u8(match c.encoder.kind {
         EncoderKind::Auto => 0,
@@ -256,7 +272,7 @@ fn put_config(e: &mut Enc, c: &LteConfig) {
     e.usize(c.encoder.min_sample);
 }
 
-fn get_config(d: &mut Dec) -> Result<LteConfig, PersistError> {
+fn get_config(d: &mut Dec, version: u8) -> Result<LteConfig, PersistError> {
     let task = MetaTaskConfig {
         ku: d.usize()?,
         ks: d.usize()?,
@@ -303,10 +319,16 @@ fn get_config(d: &mut Dec) -> Result<LteConfig, PersistError> {
         adapt_steps: d.usize()?,
         lr: d.f64()?,
         basic_steps: d.usize()?,
-        precision: match d.u8()? {
-            0 => ScoringPrecision::Exact,
-            1 => ScoringPrecision::Fast,
-            _ => return Err(PersistError::Corrupt("unknown scoring precision")),
+        // v1 predates the precision knob: default to `Exact`, the only
+        // behavior v1 files could have been written under.
+        precision: if version >= 2 {
+            match d.u8()? {
+                0 => ScoringPrecision::Exact,
+                1 => ScoringPrecision::Fast,
+                _ => return Err(PersistError::Corrupt("unknown scoring precision")),
+            }
+        } else {
+            ScoringPrecision::Exact
         },
     };
     let encoder = EncoderConfig {
@@ -394,12 +416,22 @@ fn get_attribute_encoder(d: &mut Dec) -> Result<AttributeEncoder, PersistError> 
 
 // --------------------------------------------------------------- pipeline
 
-/// Serialize a trained pipeline to bytes.
+/// Serialize a trained pipeline to bytes (current format version).
 pub fn pipeline_to_bytes(p: &LtePipeline) -> Vec<u8> {
+    pipeline_to_bytes_versioned(p, VERSION)
+}
+
+/// Serialize at an explicit (older) format version — used by the
+/// version-gating tests to produce genuine v1 payloads.
+fn pipeline_to_bytes_versioned(p: &LtePipeline, version: u8) -> Vec<u8> {
+    assert!(
+        (MIN_VERSION..=VERSION).contains(&version),
+        "cannot write format version {version}"
+    );
     let mut e = Enc::default();
     e.buf.extend_from_slice(MAGIC);
-    e.u8(VERSION);
-    put_config(&mut e, p.config());
+    e.u8(version);
+    put_config(&mut e, p.config(), version);
     e.usize(p.subspaces().len());
     for i in 0..p.subspaces().len() {
         let ctx = &p.contexts()[i];
@@ -445,10 +477,10 @@ pub fn pipeline_from_bytes(data: &[u8]) -> Result<LtePipeline, PersistError> {
         return Err(PersistError::BadMagic);
     }
     let version = d.u8()?;
-    if version != VERSION {
-        return Err(PersistError::BadVersion(version));
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(PersistError::UnsupportedVersion(version));
     }
-    let config = get_config(&mut d)?;
+    let config = get_config(&mut d, version)?;
     let n_subspaces = d.len(1 << 12, "too many subspaces")?;
     if n_subspaces == 0 {
         return Err(PersistError::Corrupt("pipeline without subspaces"));
@@ -587,6 +619,53 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Regression (serving bugfix sweep): pre-precision-knob v1 files must
+    /// load — not error — with `ScoringPrecision` defaulted to `Exact`,
+    /// and produce the same predictions as the same pipeline at `Exact`.
+    #[test]
+    fn v1_file_loads_with_exact_precision_default() {
+        let (mut p, pool) = trained_pipeline();
+        // Write v1 from a pipeline whose in-memory knob is Fast: the v1
+        // format cannot carry it, so the load must come back Exact.
+        let mut online = p.config().online.clone();
+        online.precision = ScoringPrecision::Fast;
+        p.set_online(online);
+        let v1 = pipeline_to_bytes_versioned(&p, 1);
+        assert_eq!(v1[4], 1, "version byte");
+        let loaded = pipeline_from_bytes(&v1).expect("v1 must load");
+        assert_eq!(loaded.config().online.precision, ScoringPrecision::Exact);
+
+        // And the v1 round trip preserves everything else: predictions
+        // match the same pipeline forced to Exact.
+        let mut online = p.config().online.clone();
+        online.precision = ScoringPrecision::Exact;
+        p.set_online(online);
+        let truth = p.generate_truth(UisMode::new(4, 8), 9, 0.2, 0.9);
+        let truth2 = loaded.generate_truth(UisMode::new(4, 8), 9, 0.2, 0.9);
+        let a = p.explore(&truth, &pool, Variant::Meta, 3);
+        let b = loaded.explore(&truth2, &pool, Variant::Meta, 3);
+        assert_eq!(a.confusion, b.confusion);
+    }
+
+    /// Regression (serving bugfix sweep): a version byte *newer* than this
+    /// build must be refused with a clear `UnsupportedVersion` — decoding
+    /// a future layout with today's field order would misparse silently.
+    #[test]
+    fn future_version_is_unsupported_not_misparsed() {
+        let (p, _) = trained_pipeline();
+        let mut bytes = pipeline_to_bytes(&p);
+        bytes[4] = VERSION + 1;
+        assert_eq!(
+            pipeline_from_bytes(&bytes).unwrap_err(),
+            PersistError::UnsupportedVersion(VERSION + 1)
+        );
+        // Current version still round-trips, and the error names the range.
+        assert_eq!(FORMAT_VERSION, VERSION);
+        let msg = PersistError::UnsupportedVersion(9).to_string();
+        assert!(msg.contains("unsupported format version 9"), "{msg}");
+        assert!(msg.contains('1') && msg.contains('2'), "{msg}");
+    }
+
     #[test]
     fn rejects_garbage() {
         assert_eq!(
@@ -595,7 +674,11 @@ mod tests {
         );
         assert_eq!(
             pipeline_from_bytes(b"LTEP\xff").unwrap_err(),
-            PersistError::BadVersion(0xff)
+            PersistError::UnsupportedVersion(0xff)
+        );
+        assert_eq!(
+            pipeline_from_bytes(b"LTEP\x00").unwrap_err(),
+            PersistError::UnsupportedVersion(0)
         );
         // Truncation anywhere inside must be caught, not panic.
         let (p, _) = trained_pipeline();

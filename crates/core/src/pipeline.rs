@@ -14,7 +14,7 @@
 
 use crate::config::LteConfig;
 use crate::context::SubspaceContext;
-use crate::explore::{explore_subspace, ExploreOutcome, Variant};
+use crate::explore::{finish_round, prepare_round, ExploreOutcome, Variant};
 use crate::feature::expansion_degree;
 use crate::meta_learner::MetaLearner;
 use crate::meta_task::generate_task_set;
@@ -106,6 +106,39 @@ fn sigmoid(x: f64) -> f64 {
     } else {
         let e = x.exp();
         e / (1.0 + e)
+    }
+}
+
+/// A retrieval pool preprocessed once per pipeline: for every subspace, the
+/// projected raw rows (what `Meta*`'s geometric revision reads) and their
+/// encoded feature vectors (what the classifier scores).
+///
+/// Projection and encoding are pure functions of the pipeline's contexts,
+/// so one `EncodedPool` can be shared by any number of sessions exploring
+/// the same pool — the serving engine caches one per (dataset shard,
+/// pipeline epoch) and stops re-encoding the pool per session per round,
+/// which is where most of the per-session online cost goes.
+#[derive(Debug, Clone)]
+pub struct EncodedPool {
+    proj: Vec<Vec<Vec<f64>>>,
+    encoded: Vec<Vec<Vec<f64>>>,
+    rows: usize,
+}
+
+impl EncodedPool {
+    /// Number of pool rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Projected raw rows of one subspace.
+    pub fn proj(&self, subspace: usize) -> &[Vec<f64>] {
+        &self.proj[subspace]
+    }
+
+    /// Encoded feature rows of one subspace.
+    pub fn encoded(&self, subspace: usize) -> &[Vec<f64>] {
+        &self.encoded[subspace]
     }
 }
 
@@ -260,6 +293,24 @@ impl LtePipeline {
         ConjunctiveOracle::new(parts)
     }
 
+    /// Project and encode a retrieval pool once for every subspace, so the
+    /// result can be shared across sessions (see [`EncodedPool`]).
+    pub fn encode_pool(&self, eval_rows: &[Vec<f64>]) -> EncodedPool {
+        let mut proj = Vec::with_capacity(self.subspaces.len());
+        let mut encoded = Vec::with_capacity(self.subspaces.len());
+        for (sub, ctx) in self.subspaces.iter().zip(&self.contexts) {
+            let p: Vec<Vec<f64>> = eval_rows.iter().map(|r| sub.project_row(r)).collect();
+            let e: Vec<Vec<f64>> = p.iter().map(|row| ctx.encode(row)).collect();
+            proj.push(p);
+            encoded.push(e);
+        }
+        EncodedPool {
+            proj,
+            encoded,
+            rows: eval_rows.len(),
+        }
+    }
+
     /// Online exploration of a UIR defined by per-subspace ground-truth
     /// regions (in pipeline subspace order), evaluated on `eval_rows`
     /// (full-space tuples).
@@ -270,11 +321,39 @@ impl LtePipeline {
         variant: Variant,
         seed: u64,
     ) -> UirOutcome {
+        self.explore_with_pool(
+            truth,
+            eval_rows,
+            &self.encode_pool(eval_rows),
+            variant,
+            seed,
+        )
+    }
+
+    /// [`LtePipeline::explore`] against a pre-encoded pool — callers that
+    /// run many sessions over the same `eval_rows` (the serving engine)
+    /// build the [`EncodedPool`] once and skip the per-session projection
+    /// and encoding passes. Outcomes are bit-identical to
+    /// [`LtePipeline::explore`]: projection and encoding are pure, and the
+    /// per-round seed stream (`derive_seed(seed, 2000 + i)`) is unchanged.
+    ///
+    /// # Panics
+    /// Panics when `pool` was built from different rows than `eval_rows`
+    /// (length check) or the truth's subspaces disagree with the pipeline.
+    pub fn explore_with_pool(
+        &self,
+        truth: &ConjunctiveOracle,
+        eval_rows: &[Vec<f64>],
+        pool: &EncodedPool,
+        variant: Variant,
+        seed: u64,
+    ) -> UirOutcome {
         assert_eq!(
             truth.parts().len(),
             self.subspaces.len(),
             "one ground-truth region per subspace required"
         );
+        assert_eq!(pool.rows(), eval_rows.len(), "pool/eval row count mismatch");
         let mut subspace_outcomes = Vec::with_capacity(self.subspaces.len());
         let mut per_subspace_f1 = Vec::with_capacity(self.subspaces.len());
         let mut online_seconds = 0.0;
@@ -286,20 +365,34 @@ impl LtePipeline {
             let (sub, region) = &truth.parts()[i];
             debug_assert_eq!(sub, &self.subspaces[i]);
             let oracle = RegionOracle::new(region.clone());
-            let proj: Vec<Vec<f64>> = eval_rows.iter().map(|r| sub.project_row(r)).collect();
 
             let learner = match variant {
                 Variant::Basic => None,
                 _ => Some(&self.learners[i]),
             };
-            let outcome = explore_subspace(
+            let prepared = prepare_round(
                 ctx,
                 learner,
                 &oracle,
-                &proj,
                 &self.config,
                 variant,
                 derive_seed(seed, 2000 + i as u64),
+            );
+            let t0 = Instant::now();
+            let scores = prepared.classifier.score_pool(
+                &prepared.v_r,
+                pool.encoded(i),
+                self.config.online.precision,
+            );
+            let score_seconds = t0.elapsed().as_secs_f64();
+            let outcome = finish_round(
+                ctx,
+                prepared,
+                pool.proj(i),
+                scores,
+                &self.config,
+                variant,
+                score_seconds,
             );
             online_seconds += outcome.online_seconds;
 
@@ -307,7 +400,7 @@ impl LtePipeline {
                 outcome
                     .predictions
                     .iter()
-                    .zip(&proj)
+                    .zip(pool.proj(i))
                     .map(|(&pred, row)| (pred, region.contains(row))),
             );
             per_subspace_f1.push(sub_confusion.f1());

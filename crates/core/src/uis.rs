@@ -51,6 +51,14 @@ impl UisMode {
     }
 }
 
+impl std::fmt::Display for UisMode {
+    /// Paper-style rendering, e.g. `α=4, ψ=20` — used by reports and the
+    /// bench snapshots to label the simulated-UIS complexity.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "α={}, ψ={}", self.alpha, self.psi)
+    }
+}
+
 /// Generate one simulated UIS over `centers` (`Cu`) using precomputed
 /// proximities `pu` (the paper's `Pu`).
 ///
@@ -93,6 +101,12 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn mode_displays_paper_notation() {
+        assert_eq!(UisMode::new(4, 20).to_string(), "α=4, ψ=20");
+        assert_eq!(UisMode::new(1, 10).to_string(), "α=1, ψ=10");
+    }
 
     fn grid_centers() -> Vec<Vec<f64>> {
         let mut c = Vec::new();

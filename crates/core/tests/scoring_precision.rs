@@ -5,7 +5,9 @@
 //! floor, and the row-block parallel dispatch must be bit-identical to the
 //! serial pass at any worker count.
 
-use lte_core::classifier::{ClassifierConfig, UisClassifier};
+use lte_core::classifier::{
+    score_pool_fused_with, ClassifierConfig, PoolScoreRequest, UisClassifier,
+};
 use lte_core::config::ScoringPrecision;
 use lte_core::parallel::parallel_flat_map_chunks;
 use lte_data::rng::seeded;
@@ -152,6 +154,54 @@ proptest! {
             clf.logits_batch_f32(&v_r, chunk)
         });
         prop_assert_eq!(&serial_fast, &chunked_fast);
+    }
+}
+
+/// Regression (serving bugfix sweep): the parallel-dispatch threshold of a
+/// fused call must be checked against the **fused** row total, not any
+/// single request's rows. Three sessions of ~680 rows each sit far below
+/// `PARALLEL_MIN_ROWS` individually but straddle it together; at every
+/// boundary total (2047/2048/2049 for the shipped constant) the fused
+/// scores must be bitwise identical to each request's own serial
+/// `score_pool` — i.e. crossing the threshold changes scheduling only.
+#[test]
+fn fused_threshold_counts_fused_rows_at_the_boundary() {
+    let min = UisClassifier::PARALLEL_MIN_ROWS;
+    for total in [min - 1, min, min + 1] {
+        let sizes = [total / 3, total / 3, total - 2 * (total / 3)];
+        let precisions = [
+            ScoringPrecision::Exact,
+            ScoringPrecision::Fast,
+            ScoringPrecision::Exact,
+        ];
+        let setups: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| setup(300 + i as u64, 5, 4, 8, i % 2 == 0, n))
+            .collect();
+        let requests: Vec<PoolScoreRequest<'_>> = setups
+            .iter()
+            .zip(&precisions)
+            .map(|((clf, v_r, tuples), &precision)| PoolScoreRequest {
+                classifier: clf,
+                v_r,
+                rows: tuples,
+                precision,
+            })
+            .collect();
+        // Forced threads > 1: on a single-core CI box `default_threads()`
+        // is 1 and the parallel path above the threshold would never run.
+        let fused = score_pool_fused_with(&requests, 4);
+        assert_eq!(fused.len(), 3);
+        for (((clf, v_r, tuples), &precision), got) in setups.iter().zip(&precisions).zip(&fused) {
+            let solo = clf.score_pool(v_r, tuples, precision);
+            let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(&solo),
+                bits(got),
+                "fused scores diverged from serial at fused total {total}"
+            );
+        }
     }
 }
 

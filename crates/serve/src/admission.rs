@@ -1,0 +1,172 @@
+//! Async admission for the scoring service: sessions are **accepted** or
+//! **parked** without ever occupying a worker.
+//!
+//! Submission is a queue operation, not a thread: every submitted session
+//! joins one FIFO, and at each tick boundary the service promotes as many
+//! parked sessions as the active-capacity budget allows. A session's
+//! admission tick is therefore a pure function of the submission order and
+//! the completion history — counter-based, never timing-based — which is
+//! what keeps the whole service deterministic at any worker count.
+
+use std::collections::VecDeque;
+
+/// What happened to a submitted session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionState {
+    /// Within capacity: the session joins the next tick's batch.
+    Admitted,
+    /// Over capacity: the session waits in FIFO order for completions to
+    /// free slots; no worker is held while it waits.
+    Parked,
+}
+
+/// FIFO admission queue with a bounded active-session budget.
+///
+/// `T` is the pending-session payload; the queue never inspects it. All
+/// state transitions are explicit ([`AdmissionQueue::submit`] →
+/// [`AdmissionQueue::admit`] → [`AdmissionQueue::release`]), so the exact
+/// admission tick of every session is replayable.
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    max_active: usize,
+    active: usize,
+    parked: VecDeque<T>,
+    submitted: u64,
+    admitted_total: u64,
+    peak_parked: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `max_active` concurrent sessions
+    /// (clamped to at least 1 so the queue can always drain).
+    pub fn bounded(max_active: usize) -> Self {
+        Self {
+            max_active: max_active.max(1),
+            active: 0,
+            parked: VecDeque::new(),
+            submitted: 0,
+            admitted_total: 0,
+            peak_parked: 0,
+        }
+    }
+
+    /// A queue that admits every submission at the next tick.
+    pub fn unbounded() -> Self {
+        Self::bounded(usize::MAX)
+    }
+
+    /// Enqueue a session. Returns [`AdmissionState::Admitted`] when the
+    /// session fits the capacity budget at the next tick boundary given
+    /// everything queued ahead of it, [`AdmissionState::Parked`] otherwise.
+    /// Either way this only touches the queue — no worker is consumed.
+    pub fn submit(&mut self, item: T) -> AdmissionState {
+        self.submitted += 1;
+        let would_run = self.active + self.parked.len();
+        self.parked.push_back(item);
+        self.peak_parked = self.peak_parked.max(self.parked.len());
+        if would_run < self.max_active {
+            AdmissionState::Admitted
+        } else {
+            AdmissionState::Parked
+        }
+    }
+
+    /// Promote parked sessions into the active set, FIFO, up to the free
+    /// capacity. Called once per tick boundary by the service.
+    pub fn admit(&mut self) -> Vec<T> {
+        let free = self.max_active.saturating_sub(self.active);
+        let n = free.min(self.parked.len());
+        let batch: Vec<T> = self.parked.drain(..n).collect();
+        self.active += batch.len();
+        self.admitted_total += batch.len() as u64;
+        batch
+    }
+
+    /// Return `n` completed sessions' capacity to the pool.
+    pub fn release(&mut self, n: usize) {
+        debug_assert!(n <= self.active, "releasing more sessions than active");
+        self.active = self.active.saturating_sub(n);
+    }
+
+    /// Sessions currently admitted and running.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// Sessions currently parked.
+    pub fn parked(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// The capacity budget.
+    pub fn max_active(&self) -> usize {
+        self.max_active
+    }
+
+    /// Total sessions ever submitted.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Total sessions ever admitted.
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted_total
+    }
+
+    /// High-water mark of the parked queue.
+    pub fn peak_parked(&self) -> usize {
+        self.peak_parked
+    }
+
+    /// True when nothing is active or parked.
+    pub fn is_idle(&self) -> bool {
+        self.active == 0 && self.parked.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_in_fifo_order_up_to_capacity() {
+        let mut q = AdmissionQueue::bounded(2);
+        assert_eq!(q.submit('a'), AdmissionState::Admitted);
+        assert_eq!(q.submit('b'), AdmissionState::Admitted);
+        assert_eq!(q.submit('c'), AdmissionState::Parked);
+        assert_eq!(q.admit(), vec!['a', 'b']);
+        assert_eq!(q.active(), 2);
+        assert_eq!(q.parked(), 1);
+        // No free capacity: nothing promotes.
+        assert!(q.admit().is_empty());
+        // A completion frees a slot; the parked session promotes FIFO.
+        q.release(1);
+        assert_eq!(q.admit(), vec!['c']);
+        assert_eq!(q.active(), 2);
+        q.release(2);
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn unbounded_admits_everything_next_tick() {
+        let mut q = AdmissionQueue::unbounded();
+        for i in 0..100 {
+            assert_eq!(q.submit(i), AdmissionState::Admitted);
+        }
+        assert_eq!(q.admit().len(), 100);
+        assert_eq!(q.peak_parked(), 100, "parked until the tick boundary");
+        assert_eq!(q.submitted(), 100);
+        assert_eq!(q.admitted_total(), 100);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one_so_the_queue_drains() {
+        let mut q = AdmissionQueue::bounded(0);
+        assert_eq!(q.max_active(), 1);
+        q.submit(1u8);
+        q.submit(2u8);
+        assert_eq!(q.admit(), vec![1]);
+        q.release(1);
+        assert_eq!(q.admit(), vec![2]);
+    }
+}

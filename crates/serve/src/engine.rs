@@ -76,6 +76,13 @@ impl SessionEngine {
         &self.pipeline
     }
 
+    /// A clone of the shared pipeline handle — for building a
+    /// [`crate::service::ScoringService`] (or a retrainer's
+    /// [`crate::swap::SwapCell`]) over the same model.
+    pub fn shared_pipeline(&self) -> Arc<LtePipeline> {
+        Arc::clone(&self.pipeline)
+    }
+
     /// Generate `n` simulated session requests: one ground-truth UIR each
     /// (selectivity-guarded like [`LtePipeline::generate_truth`]) with
     /// seeds derived from `base_seed`. Request `i` is identical across

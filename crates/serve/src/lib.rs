@@ -21,7 +21,15 @@
 //! * [`ScenarioConfig`] / [`SessionEngine::run_scenario`] — mixed-traffic
 //!   workload simulation: cohorts of simulated analysts (steady, drifting,
 //!   churning; see [`lte_core::scenario`]) composed into one reproducible
-//!   batch, reported per cohort by [`ScenarioReport`].
+//!   batch, reported per cohort by [`ScenarioReport`],
+//! * [`ScoringService`] — the cross-session batched path: sessions from
+//!   all shards advance in ticks, every tick's pool-scoring requests fuse
+//!   into one wide [`lte_core::classifier::score_pool_fused`] call, and
+//!   each shard's encoded pool is cached per pipeline epoch instead of
+//!   rebuilt per session per round. Admission is asynchronous
+//!   ([`AdmissionQueue`]: submit never occupies a worker) and the served
+//!   pipeline hot-swaps under load through a [`SwapCell`] without torn
+//!   reads. See `docs/SERVING.md`.
 //!
 //! **Determinism guarantee:** session results depend only on each request's
 //! seed and truth, never on the worker count or scheduling — outputs come
@@ -61,10 +69,16 @@
 //! println!("first session F1: {:.3}", outcomes[0].outcome.f1());
 //! ```
 
+pub mod admission;
 pub mod engine;
 pub mod scenario;
+pub mod service;
 pub mod stats;
+pub mod swap;
 
+pub use admission::{AdmissionQueue, AdmissionState};
 pub use engine::{SessionEngine, SessionOutcome, SessionRequest};
 pub use scenario::{Cohort, ScenarioConfig, ScenarioOutcome, ScenarioRequest};
+pub use service::{ScoringService, ServiceOutcome, ServiceStats, TickReport};
 pub use stats::{percentile, CohortStats, ScenarioReport, ThroughputStats};
+pub use swap::SwapCell;

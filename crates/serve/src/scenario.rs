@@ -104,15 +104,26 @@ impl ScenarioConfig {
                 *count = quota.floor() as usize;
                 assigned += *count;
             }
-            // Hand leftover slots to the largest fractional remainders
-            // (ties broken by cohort order — still deterministic).
+            // Hand leftover slots to the largest fractional remainders,
+            // ties broken by the *smaller cohort index* — an explicit
+            // total order (`total_cmp` + index), so the layout can never
+            // depend on float-comparison quirks (NaN remainders collapsing
+            // to `Equal` made the old comparator inconsistent) or on the
+            // incidental stability of the sort.
             let mut order: Vec<usize> = (0..self.cohorts.len()).collect();
             order.sort_by(|&a, &b| {
                 let ra = quotas[a] - quotas[a].floor();
                 let rb = quotas[b] - quotas[b].floor();
-                rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+                rb.total_cmp(&ra).then(a.cmp(&b))
             });
-            for &c in order.iter().cycle().take(self.sessions - assigned) {
+            // `saturating_sub`: float quotas can floor-sum to `sessions`
+            // already (leftover 0) — or, with adversarial weights, a hair
+            // above it; never underflow into a giant `take`.
+            for &c in order
+                .iter()
+                .cycle()
+                .take(self.sessions.saturating_sub(assigned))
+            {
                 counts[c] += 1;
             }
         } else {
@@ -266,6 +277,39 @@ mod tests {
         }
         let slots = cfg.assignments();
         assert_eq!(slots, vec![0; 10]);
+    }
+
+    /// Regression (serving bugfix sweep): a mix engineered so every cohort
+    /// has the *same* fractional remainder. The leftover slots must go to
+    /// the smallest cohort indices — a documented total order — not to
+    /// whatever the float comparator or sort stability happened to yield.
+    #[test]
+    fn apportionment_breaks_remainder_ties_by_cohort_index() {
+        let mut cfg = mix(6);
+        cfg.cohorts = (0..4)
+            .map(|i| Cohort {
+                name: format!("c{i}"),
+                behavior: BehaviorConfig::steady(),
+                weight: 1.0,
+            })
+            .collect();
+        // Quotas are 1.5 each: floors assign 4, the 2 leftover slots must
+        // land on cohorts 0 and 1 (index tie-break).
+        let slots = cfg.assignments();
+        let count = |c: usize| slots.iter().filter(|&&s| s == c).count();
+        assert_eq!(
+            [count(0), count(1), count(2), count(3)],
+            [2, 2, 1, 1],
+            "ties must resolve by cohort index"
+        );
+        // Byte-identical across calls (and trivially across worker counts:
+        // assignment happens before any worker is involved).
+        assert_eq!(slots, cfg.assignments());
+        // A NaN weight must not poison the ordering for the others.
+        cfg.cohorts[3].weight = f64::NAN;
+        let slots = cfg.assignments();
+        assert_eq!(slots.len(), 6);
+        assert_eq!(slots.iter().filter(|&&s| s == 3).count(), 0);
     }
 
     #[test]

@@ -296,13 +296,20 @@ fn json_str(s: &str) -> String {
 }
 
 /// Nearest-rank percentile of an **ascending-sorted** slice; `p` in
-/// `[0, 100]`. Empty input yields 0.
+/// `[0, 100]`. Empty input yields 0; a single sample is every percentile
+/// of itself.
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let n = sorted.len();
+    // Nearest rank: the smallest r with 100·r/n ≥ p, i.e. ⌈p·n/100⌉.
+    // Multiply *before* dividing: p·n is exact for integer-valued products
+    // (95·20 = 1900), whereas (p/100)·n rounds p/100 first and the ceil
+    // then lands one rank past the true one (e.g. p95 at n=20 gave rank 20,
+    // p55 rank 12) — masked only by the clamp at the top end.
+    let rank = ((p * n as f64) / 100.0).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 #[cfg(test)]
@@ -375,5 +382,51 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 4.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
         assert_eq!(percentile(&[7.0], 95.0), 7.0);
+    }
+
+    /// Regression (serving bugfix sweep): the old `(p/100)·n` form rounded
+    /// `p/100` up for p ∈ {5, 55, 95, …}, so integer-valued ranks
+    /// overshot by one — p95 at n=20 read `sorted[19]` (the max) instead
+    /// of the 19th sample, and the `clamp` quietly absorbed the
+    /// one-past-the-end rank instead of flagging it.
+    #[test]
+    fn percentile_exact_integer_ranks_do_not_overshoot() {
+        let xs: Vec<f64> = (1..=20).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 95.0), 19.0, "p95·20 = rank 19 exactly");
+        assert_eq!(percentile(&xs, 55.0), 11.0, "p55·20 = rank 11 exactly");
+        assert_eq!(percentile(&xs, 5.0), 1.0, "p5·20 = rank 1 exactly");
+        assert_eq!(percentile(&xs, 50.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 20.0);
+    }
+
+    /// Edge cases across small N, per the serving bugfix sweep:
+    /// N ∈ {0, 1, 2, 19, 20, 21}.
+    #[test]
+    fn percentile_small_n_edge_cases() {
+        // N = 0: defined as 0.
+        assert_eq!(percentile(&[], 95.0), 0.0);
+        // N = 1: every percentile is the sample; p50 == p95.
+        let one = [3.5];
+        assert_eq!(percentile(&one, 0.0), 3.5);
+        assert_eq!(percentile(&one, 50.0), 3.5);
+        assert_eq!(percentile(&one, 95.0), 3.5);
+        assert_eq!(percentile(&one, 100.0), 3.5);
+        // N = 2: p50 is the first sample, p95/p100 the second.
+        let two = [1.0, 2.0];
+        assert_eq!(percentile(&two, 50.0), 1.0);
+        assert_eq!(percentile(&two, 51.0), 2.0);
+        assert_eq!(percentile(&two, 95.0), 2.0);
+        assert_eq!(percentile(&two, 100.0), 2.0);
+        // N = 19: p95 → rank ⌈18.05⌉ = 19, the max.
+        let n19: Vec<f64> = (1..=19).map(f64::from).collect();
+        assert_eq!(percentile(&n19, 95.0), 19.0);
+        assert_eq!(percentile(&n19, 50.0), 10.0);
+        // N = 20: p95 → rank 19 exactly (the overshoot case above).
+        let n20: Vec<f64> = (1..=20).map(f64::from).collect();
+        assert_eq!(percentile(&n20, 95.0), 19.0);
+        // N = 21: p95 → rank ⌈19.95⌉ = 20.
+        let n21: Vec<f64> = (1..=21).map(f64::from).collect();
+        assert_eq!(percentile(&n21, 95.0), 20.0);
+        assert_eq!(percentile(&n21, 50.0), 11.0);
     }
 }

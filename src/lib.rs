@@ -66,7 +66,7 @@ pub mod prelude {
     pub use lte_data::{Dataset, Table};
     pub use lte_geom::{Region, RegionUnion};
     pub use lte_serve::{
-        Cohort, ScenarioConfig, ScenarioReport, SessionEngine, SessionOutcome, SessionRequest,
-        ThroughputStats,
+        AdmissionState, Cohort, ScenarioConfig, ScenarioReport, ScoringService, ServiceOutcome,
+        SessionEngine, SessionOutcome, SessionRequest, SwapCell, ThroughputStats,
     };
 }
