@@ -1,0 +1,15 @@
+//! Meta-feature task routing: a two-specialist pipeline library routed per
+//! session vs each fixed pipeline, writing `BENCH_routing.json`
+//! (see lte_bench::experiments::routing).
+
+use lte_bench::{cli::Options, env::BenchEnv};
+
+fn main() {
+    let opts = Options::parse();
+    let env = BenchEnv::from_options(&opts);
+    let out = opts.out.as_deref();
+    match opts.subcommand() {
+        None => lte_bench::experiments::routing::run(&env, out, opts.smoke),
+        Some(sub) => lte_bench::experiments::routing::subcommand(&env, out, opts.smoke, sub),
+    }
+}

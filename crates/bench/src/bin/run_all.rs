@@ -26,6 +26,7 @@ fn main() {
     experiments::throughput::run(&env, out, opts.smoke);
     experiments::scenarios::run(&env, out, opts.smoke);
     experiments::pool_scoring::run(&env, out, opts.smoke);
+    experiments::routing::run(&env, out, opts.smoke);
 
     println!(
         "\nall experiments regenerated in {:.1} min",

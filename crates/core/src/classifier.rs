@@ -48,9 +48,10 @@ impl ClassifierConfig {
 /// One labeled training example: encoded tuple features plus label.
 pub type Example = (Vec<f64>, bool);
 
-/// One session's pool-scoring request inside a fused cross-session batch:
-/// which classifier scores it, the session's UIS feature vector, the
-/// encoded pool rows, and the precision knob. See [`score_pool_fused`].
+/// Legacy fused-batch request — superseded by
+/// [`FusedRequest`](crate::scorer::FusedRequest) on the unified
+/// [`Scorer`](crate::scorer::Scorer) surface; kept as a thin compatibility
+/// shim for existing callers. See [`score_pool_fused`].
 pub struct PoolScoreRequest<'a> {
     /// The (adapted) classifier that scores this request's rows.
     pub classifier: &'a UisClassifier,
@@ -62,60 +63,27 @@ pub struct PoolScoreRequest<'a> {
     pub precision: crate::config::ScoringPrecision,
 }
 
-/// Score many sessions' pools as **one fused batch** over the shared worker
-/// pool, returning one logit vector per request (in request order).
-///
-/// Each request keeps its own classifier, `vR`, and precision — fusion
-/// happens at the dispatch level: every request's rows are cut into the
-/// same contiguous blocks as [`UisClassifier::score_pool`] and all blocks
-/// from all requests are fanned across one pool via
-/// [`parallel_flat_map_groups`](crate::parallel::parallel_flat_map_groups).
-/// Crucially, the [`UisClassifier::PARALLEL_MIN_ROWS`] cutoff is checked
-/// against the **fused** row total, not each request's pool, so many small
-/// per-session pools still get parallel dispatch once their sum is large
-/// enough.
-///
-/// Every output vector is bit-identical to the per-request
-/// `request.classifier.score_pool(request.v_r, request.rows,
-/// request.precision)` call at any worker count, because every scoring
-/// path maps each row independently of its block (the invariant the
-/// serving determinism suite pins).
+/// Legacy alias for [`score_fused`](crate::scorer::score_fused): score many
+/// sessions' pools as one fused batch at the default worker count. New code
+/// should build [`FusedRequest`](crate::scorer::FusedRequest)s and call the
+/// `scorer` module directly; outputs are bit-identical either way.
 pub fn score_pool_fused(requests: &[PoolScoreRequest<'_>]) -> Vec<Vec<f64>> {
     score_pool_fused_with(requests, crate::parallel::default_threads())
 }
 
-/// [`score_pool_fused`] with an explicit worker count — the serving engine
-/// passes its configured worker budget; tests force `threads > 1` to
-/// exercise the fused parallel path on single-core machines.
+/// Legacy alias for [`score_fused_with`](crate::scorer::score_fused_with)
+/// with an explicit worker count — the serving engine passes its configured
+/// worker budget; tests force `threads > 1` to exercise the fused parallel
+/// path on single-core machines.
 pub fn score_pool_fused_with(requests: &[PoolScoreRequest<'_>], threads: usize) -> Vec<Vec<f64>> {
-    use crate::config::ScoringPrecision;
-    for req in requests {
-        assert_eq!(req.v_r.len(), req.classifier.cfg.ku, "vR width mismatch");
-    }
-    let fused_rows: usize = requests.iter().map(|r| r.rows.len()).sum();
-    let threads = if fused_rows >= UisClassifier::PARALLEL_MIN_ROWS {
-        threads
-    } else {
-        1
-    };
-    let groups: Vec<&[Vec<f64>]> = requests.iter().map(|r| r.rows).collect();
-    crate::parallel::parallel_flat_map_groups(
-        &groups,
-        UisClassifier::PARALLEL_BLOCK_ROWS,
-        threads,
-        |g, chunk| {
-            let req = &requests[g];
-            match req.precision {
-                ScoringPrecision::Exact => req.classifier.logits_block(req.v_r, chunk),
-                ScoringPrecision::Fast => req
-                    .classifier
-                    .logits_block_f32(req.v_r, chunk)
-                    .into_iter()
-                    .map(f64::from)
-                    .collect(),
-            }
-        },
-    )
+    let unified: Vec<crate::scorer::FusedRequest<'_>> = requests
+        .iter()
+        .map(|r| crate::scorer::FusedRequest {
+            scorer: r.classifier,
+            request: crate::scorer::ScoreRequest::new(r.v_r, r.rows, r.precision),
+        })
+        .collect();
+    crate::scorer::score_fused_with(&unified, threads)
 }
 
 /// Forward-pass cache for backprop.
@@ -337,9 +305,10 @@ impl UisClassifier {
     }
 
     /// Score a retrieval pool at the configured precision, always returning
-    /// `f64` logits (Fast-mode `f32` logits are promoted exactly). This is
-    /// the single entry point the online loop and the serving engine use;
-    /// see [`ScoringPrecision`](crate::config::ScoringPrecision) for when
+    /// `f64` logits (Fast-mode `f32` logits are promoted exactly). Thin
+    /// shim over the unified [`Scorer::score`](crate::scorer::Scorer::score)
+    /// surface, kept so existing callers compile unchanged; see
+    /// [`ScoringPrecision`](crate::config::ScoringPrecision) for when
     /// `Fast` is safe.
     pub fn score_pool(
         &self,
@@ -347,23 +316,17 @@ impl UisClassifier {
         tuples: &[Vec<f64>],
         precision: crate::config::ScoringPrecision,
     ) -> Vec<f64> {
-        match precision {
-            crate::config::ScoringPrecision::Exact => self.logits_batch(v_r, tuples),
-            crate::config::ScoringPrecision::Fast => self
-                .logits_batch_f32(v_r, tuples)
-                .into_iter()
-                .map(f64::from)
-                .collect(),
-        }
+        use crate::scorer::{ScoreRequest, Scorer};
+        self.score(&ScoreRequest::new(v_r, tuples, precision))
     }
 
-    /// Minimum pool rows before scoring fans out over row blocks; smaller
-    /// pools are dominated by per-thread overhead and stay serial.
-    pub const PARALLEL_MIN_ROWS: usize = 2048;
-    /// Rows per parallel block: large enough that each block's matmuls
-    /// amortize dispatch, small enough to split a serving-scale pool
-    /// across every worker.
-    const PARALLEL_BLOCK_ROWS: usize = 1024;
+    /// Minimum pool rows before scoring fans out over row blocks — alias
+    /// of [`scorer::PARALLEL_MIN_ROWS`](crate::scorer::PARALLEL_MIN_ROWS),
+    /// kept for existing callers.
+    pub const PARALLEL_MIN_ROWS: usize = crate::scorer::PARALLEL_MIN_ROWS;
+    /// Rows per parallel block — alias of
+    /// [`scorer::PARALLEL_BLOCK_ROWS`](crate::scorer::PARALLEL_BLOCK_ROWS).
+    const PARALLEL_BLOCK_ROWS: usize = crate::scorer::PARALLEL_BLOCK_ROWS;
 
     /// Dispatch a per-block scorer serially or over the shared worker pool
     /// depending on pool size. Output equals the serial pass bitwise
@@ -595,6 +558,32 @@ impl UisClassifier {
             .filter(|(x, y)| self.predict(v_r, x) == *y)
             .count();
         correct as f64 / examples.len() as f64
+    }
+}
+
+/// The unified scoring surface (see [`crate::scorer`]): the classifier's
+/// serial block kernels plugged into the shared block-cutting policy.
+/// [`Scorer::score`](crate::scorer::Scorer::score) on a classifier is
+/// bit-identical to [`UisClassifier::score_pool`] at any worker count.
+impl crate::scorer::Scorer for UisClassifier {
+    fn vr_width(&self) -> usize {
+        self.cfg.ku
+    }
+
+    fn score_block(
+        &self,
+        v_r: &[f64],
+        rows: &[Vec<f64>],
+        precision: crate::config::ScoringPrecision,
+    ) -> Vec<f64> {
+        match precision {
+            crate::config::ScoringPrecision::Exact => self.logits_block(v_r, rows),
+            crate::config::ScoringPrecision::Fast => self
+                .logits_block_f32(v_r, rows)
+                .into_iter()
+                .map(f64::from)
+                .collect(),
+        }
     }
 }
 

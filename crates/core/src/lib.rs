@@ -43,6 +43,7 @@ pub mod explore;
 pub mod feature;
 pub mod iterative;
 pub mod memory;
+pub mod meta_features;
 pub mod meta_learner;
 pub mod meta_task;
 pub mod metrics;
@@ -51,21 +52,26 @@ pub mod parallel;
 pub mod persist;
 pub mod pipeline;
 pub mod refine;
+pub mod routing;
 pub mod scenario;
+pub mod scorer;
 pub mod uis;
 
 pub use classifier::{ClassifierConfig, UisClassifier};
 pub use config::LteConfig;
 pub use context::SubspaceContext;
 pub use explore::{ExploreOutcome, Variant};
+pub use meta_features::{FeatureDelta, MetaFeatures};
 pub use meta_learner::MetaLearner;
-pub use meta_task::MetaTask;
+pub use meta_task::{MetaTask, TaskGenError};
 pub use metrics::ConfusionMatrix;
 pub use oracle::{
     BehaviorOracle, Cadence, ConjunctiveOracle, NoisyOracle, RegionOracle, SubspaceOracle,
 };
 pub use pipeline::LtePipeline;
+pub use routing::{PipelineRegistry, Router, RoutingDecision};
 pub use scenario::{
     explore_behavioral, BehaviorConfig, BehavioralOutcome, DriftSpec, DriftTrigger,
 };
+pub use scorer::{FusedRequest, ScoreRequest, Scorer};
 pub use uis::UisMode;

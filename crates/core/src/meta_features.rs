@@ -1,0 +1,353 @@
+//! Fixed-order meta-feature vectors for task routing.
+//!
+//! A library of specialized pipelines (see [`crate::routing`]) needs a
+//! common coordinate system in which an *incoming session* can be compared
+//! against the *meta-tasks each pipeline was trained on*. Following the
+//! meta-feature tradition of algorithm selection (and the explainable
+//! meta-learning framing of Woźnica & Biecek), every task — simulated or
+//! live — is summarized by the same fixed-order vector of
+//! [`FEATURE_COUNT`] scalars:
+//!
+//! | # | name                  | meaning                                            |
+//! |---|-----------------------|----------------------------------------------------|
+//! | 0 | `selectivity`         | fraction of positive labels                        |
+//! | 1 | `balance`             | `2·min(sel, 1−sel)` — 1 at 50/50, 0 when one-class |
+//! | 2 | `mean_dim`            | mean subspace dimensionality                       |
+//! | 3 | `peaked_frac`         | fraction of attributes with *peaked* modality (the |
+//! |   |                       | GMM side of the §VII-A GMM/Jenks encoder split)    |
+//! | 4 | `positive_dispersion` | mean pairwise distance among positives, normalized |
+//! |   |                       | by the all-point mean pairwise distance            |
+//! | 5 | `subspaces`           | number of conjunctive subspaces                    |
+//!
+//! Both extraction paths are pure functions of their inputs — no RNG, no
+//! global state — so a given task or (truth, probe rows) pair always maps
+//! to the same vector, which is what makes routing decisions replayable.
+
+use crate::context::SubspaceContext;
+use crate::meta_task::MetaTask;
+use crate::oracle::ConjunctiveOracle;
+use lte_preprocess::modality::{probe_modality, Modality};
+
+/// Number of meta-features in the fixed-order vector.
+pub const FEATURE_COUNT: usize = 6;
+
+/// Names of the meta-features, in vector order.
+pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
+    "selectivity",
+    "balance",
+    "mean_dim",
+    "peaked_frac",
+    "positive_dispersion",
+    "subspaces",
+];
+
+/// Per-feature weights of the routing distance: label statistics dominate
+/// (selectivity is the strongest specialization signal), count-valued
+/// features (`mean_dim`, `subspaces`) are damped so a one-dimension gap
+/// does not drown every unit-interval feature.
+const DISTANCE_WEIGHTS: [f64; FEATURE_COUNT] = [2.0, 1.0, 0.5, 1.0, 1.0, 0.5];
+
+/// Pairwise-distance computations cap their point count (stable prefix) so
+/// feature extraction stays O(1)-ish in the pool size.
+const DISPERSION_MAX_POINTS: usize = 256;
+
+/// One feature's side-by-side comparison inside a routing explanation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureDelta {
+    /// Feature name (from [`FEATURE_NAMES`]).
+    pub name: &'static str,
+    /// The incoming session's value.
+    pub session: f64,
+    /// The chosen pipeline's training centroid value.
+    pub centroid: f64,
+    /// `session − centroid`.
+    pub delta: f64,
+}
+
+/// A fixed-order meta-feature vector (see the module docs for the layout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaFeatures {
+    values: [f64; FEATURE_COUNT],
+}
+
+impl MetaFeatures {
+    /// Wrap a raw vector; `None` when the length is not [`FEATURE_COUNT`].
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        let values: [f64; FEATURE_COUNT] = values.try_into().ok()?;
+        Some(Self { values })
+    }
+
+    /// The raw values, in [`FEATURE_NAMES`] order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Extract the vector of one simulated meta-task on its subspace
+    /// context. `n_subspaces` is the pipeline's conjunctive subspace count
+    /// (a task only sees its own subspace).
+    pub fn from_task(ctx: &SubspaceContext, task: &MetaTask, n_subspaces: usize) -> Self {
+        let sel = task.support_positive_rate();
+        let peaked = ctx
+            .encoder()
+            .encoders()
+            .iter()
+            .filter(|e| e.is_gmm())
+            .count() as f64
+            / ctx.encoder().encoders().len().max(1) as f64;
+        // Support positives live on the Cs centers (raw subspace rows);
+        // their spread relative to all of Cs is the task's dispersion.
+        let dispersion = dispersion_ratio(ctx.cs(), &task.cs_labels);
+        Self {
+            values: [
+                sel,
+                balance(sel),
+                ctx.dim() as f64,
+                peaked,
+                dispersion,
+                n_subspaces as f64,
+            ],
+        }
+    }
+
+    /// Extract the vector of an incoming session from its ground truth and
+    /// a probe pool of full-space rows (the serving layer probes with the
+    /// shard's eval rows, optionally subsampled by the router).
+    pub fn from_probe(truth: &ConjunctiveOracle, probe_rows: &[Vec<f64>]) -> Self {
+        let sel = truth.selectivity(probe_rows);
+        let parts = truth.parts();
+        let n_parts = parts.len().max(1);
+        let mean_dim = parts.iter().map(|(s, _)| s.dim()).sum::<usize>() as f64 / n_parts as f64;
+
+        // Modality per explored attribute, probed on the pool columns —
+        // the session-side mirror of the encoder's GMM/Jenks split.
+        let mut peaked = 0usize;
+        let mut attrs = 0usize;
+        for (sub, _) in parts {
+            for &attr in sub.attr_indices() {
+                let column: Vec<f64> = probe_rows.iter().map(|r| r[attr]).collect();
+                if probe_modality(&column) == Modality::Peaked {
+                    peaked += 1;
+                }
+                attrs += 1;
+            }
+        }
+        let peaked_frac = peaked as f64 / attrs.max(1) as f64;
+
+        // Per-part positive dispersion (against the part's own region,
+        // mirroring the per-subspace task-side measure), averaged.
+        let mut dispersion = 0.0;
+        for (sub, region) in parts {
+            let proj: Vec<Vec<f64>> = probe_rows
+                .iter()
+                .take(DISPERSION_MAX_POINTS)
+                .map(|r| sub.project_row(r))
+                .collect();
+            let labels: Vec<bool> = proj.iter().map(|p| region.contains(p)).collect();
+            dispersion += dispersion_ratio(&proj, &labels);
+        }
+        dispersion /= n_parts as f64;
+
+        Self {
+            values: [
+                sel,
+                balance(sel),
+                mean_dim,
+                peaked_frac,
+                dispersion,
+                parts.len() as f64,
+            ],
+        }
+    }
+
+    /// Component-wise mean of a non-empty set of vectors.
+    ///
+    /// # Panics
+    /// Panics on an empty iterator.
+    pub fn centroid<'a, I: IntoIterator<Item = &'a MetaFeatures>>(items: I) -> Self {
+        let mut sum = [0.0; FEATURE_COUNT];
+        let mut n = 0usize;
+        for item in items {
+            for (s, v) in sum.iter_mut().zip(&item.values) {
+                *s += v;
+            }
+            n += 1;
+        }
+        assert!(n > 0, "centroid of an empty feature set");
+        for s in sum.iter_mut() {
+            *s /= n as f64;
+        }
+        Self { values: sum }
+    }
+
+    /// Weighted Euclidean distance (weights: `DISTANCE_WEIGHTS`) — the
+    /// routing metric. Symmetric, zero iff equal.
+    pub fn distance(&self, other: &MetaFeatures) -> f64 {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .zip(&DISTANCE_WEIGHTS)
+            .map(|((a, b), w)| w * (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Side-by-side per-feature comparison `self − centroid`, in
+    /// [`FEATURE_NAMES`] order — the `feature_deltas` of a
+    /// [`RoutingDecision`](crate::routing::RoutingDecision).
+    pub fn deltas(&self, centroid: &MetaFeatures) -> Vec<FeatureDelta> {
+        FEATURE_NAMES
+            .iter()
+            .zip(self.values.iter().zip(&centroid.values))
+            .map(|(name, (&session, &centroid))| FeatureDelta {
+                name,
+                session,
+                centroid,
+                delta: session - centroid,
+            })
+            .collect()
+    }
+}
+
+/// `2·min(sel, 1−sel)`: 1.0 at a 50/50 split, 0.0 when one class is absent.
+fn balance(sel: f64) -> f64 {
+    2.0 * sel.min(1.0 - sel).max(0.0)
+}
+
+/// Mean pairwise distance among `positive` points divided by the mean
+/// pairwise distance among all points (both capped at
+/// [`DISPERSION_MAX_POINTS`], stable prefix order). Scale-free: ~1.0 when
+/// positives are spread like the data, small when they form one tight
+/// cluster, 0.0 when fewer than two positives exist.
+fn dispersion_ratio(points: &[Vec<f64>], positive: &[bool]) -> f64 {
+    let all: Vec<&Vec<f64>> = points.iter().take(DISPERSION_MAX_POINTS).collect();
+    let pos: Vec<&Vec<f64>> = points
+        .iter()
+        .zip(positive)
+        .filter(|(_, &y)| y)
+        .map(|(p, _)| p)
+        .take(DISPERSION_MAX_POINTS)
+        .collect();
+    let all_mean = mean_pairwise(&all);
+    let pos_mean = mean_pairwise(&pos);
+    if all_mean <= 0.0 || pos.len() < 2 {
+        0.0
+    } else {
+        pos_mean / all_mean
+    }
+}
+
+fn mean_pairwise(points: &[&Vec<f64>]) -> f64 {
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d2: f64 = points[i]
+                .iter()
+                .zip(points[j].iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            total += d2.sqrt();
+        }
+    }
+    total / (n * (n - 1) / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LteConfig;
+    use crate::meta_task::generate_task;
+    use lte_data::generator::generate_sdss;
+    use lte_data::rng::seeded;
+    use lte_data::subspace::Subspace;
+    use lte_data::table::Table;
+
+    fn ctx_and_table() -> (SubspaceContext, Table) {
+        let table = generate_sdss(3000, 0);
+        let cfg = LteConfig::reduced();
+        let ctx = SubspaceContext::build(
+            &table,
+            Subspace::new(vec![0, 1]),
+            &cfg.task,
+            &cfg.encoder,
+            1,
+        );
+        (ctx, table)
+    }
+
+    #[test]
+    fn task_features_are_deterministic_and_in_range() {
+        let (ctx, _) = ctx_and_table();
+        let cfg = LteConfig::reduced();
+        let t = generate_task(&ctx, cfg.task.mode, cfg.task.delta, 4, &mut seeded(7));
+        let a = MetaFeatures::from_task(&ctx, &t, 2);
+        let b = MetaFeatures::from_task(&ctx, &t, 2);
+        assert_eq!(a, b, "pure function of (ctx, task)");
+        let v = a.values();
+        assert_eq!(v.len(), FEATURE_COUNT);
+        assert!((0.0..=1.0).contains(&v[0]), "selectivity {}", v[0]);
+        assert!((0.0..=1.0).contains(&v[1]), "balance {}", v[1]);
+        assert_eq!(v[2], 2.0, "2D subspace");
+        assert!((0.0..=1.0).contains(&v[3]), "peaked_frac {}", v[3]);
+        assert!(v[4] >= 0.0, "dispersion {}", v[4]);
+        assert_eq!(v[5], 2.0, "subspace count passed through");
+    }
+
+    #[test]
+    fn probe_features_track_the_truth() {
+        let (ctx, table) = ctx_and_table();
+        let _ = ctx;
+        let rows: Vec<Vec<f64>> = (0..400).map(|i| table.row(i).unwrap()).collect();
+        // A 1-attribute interval truth over attribute 0.
+        let lo = -0.5;
+        let hi = 0.5;
+        let truth = ConjunctiveOracle::new(vec![(
+            Subspace::new(vec![0, 1]),
+            lte_geom::RegionUnion::new(vec![lte_geom::Region::Box(lte_geom::Aabb::new(
+                vec![lo, -10.0],
+                vec![hi, 10.0],
+            ))]),
+        )]);
+        let f = MetaFeatures::from_probe(&truth, &rows);
+        assert_eq!(f.values()[0], truth.selectivity(&rows));
+        assert_eq!(f.values()[2], 2.0);
+        assert_eq!(f.values()[5], 1.0);
+        assert_eq!(f, MetaFeatures::from_probe(&truth, &rows));
+    }
+
+    #[test]
+    fn centroid_distance_and_deltas_are_consistent() {
+        let a = MetaFeatures::from_values(&[0.2, 0.4, 2.0, 0.5, 0.8, 2.0]).unwrap();
+        let b = MetaFeatures::from_values(&[0.6, 0.8, 2.0, 0.5, 0.4, 2.0]).unwrap();
+        let c = MetaFeatures::centroid([&a, &b]);
+        for (got, want) in c.values().iter().zip([0.4, 0.6, 2.0, 0.5, 0.6, 2.0]) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+        assert_eq!(a.distance(&a), 0.0);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-15, "symmetric");
+        assert!(a.distance(&b) > 0.0);
+
+        let deltas = a.deltas(&c);
+        assert_eq!(deltas.len(), FEATURE_COUNT);
+        for (d, name) in deltas.iter().zip(FEATURE_NAMES) {
+            assert_eq!(d.name, name);
+            assert!((d.delta - (d.session - d.centroid)).abs() < 1e-15);
+        }
+        assert!(MetaFeatures::from_values(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn dispersion_separates_tight_from_spread_positives() {
+        let points: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 0.0]).collect();
+        let tight: Vec<bool> = (0..100).map(|i| i < 5).collect();
+        let spread: Vec<bool> = (0..100).map(|i| i % 20 == 0).collect();
+        let t = dispersion_ratio(&points, &tight);
+        let s = dispersion_ratio(&points, &spread);
+        assert!(t < s, "tight {t} vs spread {s}");
+        let none = vec![false; 100];
+        assert_eq!(dispersion_ratio(&points, &none), 0.0);
+    }
+}

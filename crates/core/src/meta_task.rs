@@ -103,16 +103,63 @@ fn append_random_examples<R: Rng + ?Sized>(
     }
 }
 
-/// Generate a meta-task set of size `n`, retrying degenerate tasks whose
-/// support set is single-class (untrainable few-shot episodes) up to
-/// `cfg.max_uis_retries` times each.
-pub fn generate_task_set<R: Rng + ?Sized>(
+/// Why a meta-task set cannot be generated from a context/config pair.
+///
+/// These are configuration errors (e.g. `ku == 0`, or an empty clustering
+/// sample with `Δ > 0`) that previously surfaced as panics deep inside the
+/// generation loop; [`try_generate_task_set`] rejects them upfront.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskGenError {
+    /// The context has no `Cu` centers (`ku == 0`): no UIS can be built.
+    NoUisCenters,
+    /// The context has no `Cs` centers (`ks == 0`): every support set
+    /// would be empty and no task could ever be balanced.
+    NoSupportCenters,
+    /// `Δ > 0` random tuples were requested but the clustering sample is
+    /// empty, so there is nothing to draw them from.
+    EmptySample,
+}
+
+impl std::fmt::Display for TaskGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoUisCenters => {
+                write!(
+                    f,
+                    "no Cu centers (ku == 0): cannot construct a simulated UIS"
+                )
+            }
+            Self::NoSupportCenters => {
+                write!(f, "no Cs centers (ks == 0): support sets would be empty")
+            }
+            Self::EmptySample => {
+                write!(f, "delta > 0 but the clustering sample is empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskGenError {}
+
+/// [`generate_task_set`] with upfront validation: degenerate context/config
+/// pairs come back as a typed [`TaskGenError`] instead of panicking inside
+/// the generation loop.
+pub fn try_generate_task_set<R: Rng + ?Sized>(
     ctx: &SubspaceContext,
     cfg: &MetaTaskConfig,
     expansion_l: usize,
     n: usize,
     rng: &mut R,
-) -> Vec<MetaTask> {
+) -> Result<Vec<MetaTask>, TaskGenError> {
+    if ctx.cu().is_empty() {
+        return Err(TaskGenError::NoUisCenters);
+    }
+    if ctx.cs().is_empty() {
+        return Err(TaskGenError::NoSupportCenters);
+    }
+    if cfg.delta > 0 && ctx.sample_rows().is_empty() {
+        return Err(TaskGenError::EmptySample);
+    }
     let mut tasks = Vec::with_capacity(n);
     for _ in 0..n {
         let mut task = generate_task(ctx, cfg.mode, cfg.delta, expansion_l, rng);
@@ -123,7 +170,25 @@ pub fn generate_task_set<R: Rng + ?Sized>(
         }
         tasks.push(task);
     }
-    tasks
+    Ok(tasks)
+}
+
+/// Generate a meta-task set of size `n`, retrying degenerate tasks whose
+/// support set is single-class (untrainable few-shot episodes) up to
+/// `cfg.max_uis_retries` times each.
+///
+/// # Panics
+/// Panics on degenerate context/config pairs (see [`TaskGenError`]); use
+/// [`try_generate_task_set`] to handle those as values.
+pub fn generate_task_set<R: Rng + ?Sized>(
+    ctx: &SubspaceContext,
+    cfg: &MetaTaskConfig,
+    expansion_l: usize,
+    n: usize,
+    rng: &mut R,
+) -> Vec<MetaTask> {
+    try_generate_task_set(ctx, cfg, expansion_l, n, rng)
+        .unwrap_or_else(|e| panic!("invalid meta-task configuration: {e}"))
 }
 
 #[cfg(test)]
@@ -202,6 +267,71 @@ mod tests {
         let b = generate_task(&c, cfg.task.mode, cfg.task.delta, 4, &mut seeded(9));
         assert_eq!(a.v_r, b.v_r);
         assert_eq!(a.cs_labels, b.cs_labels);
+    }
+
+    #[test]
+    fn degenerate_configs_are_typed_errors_not_panics() {
+        let c = ctx();
+        let cfg = LteConfig::reduced();
+
+        // ku == 0: rebuild the context with no Cu centers.
+        let no_cu = SubspaceContext::from_parts(
+            c.subspace().clone(),
+            c.sample_rows().to_vec(),
+            Vec::new(),
+            c.cs().to_vec(),
+            c.cq().to_vec(),
+            c.encoder().clone(),
+        );
+        let err = try_generate_task_set(&no_cu, &cfg.task, 4, 2, &mut seeded(0));
+        assert_eq!(err.err(), Some(TaskGenError::NoUisCenters));
+
+        // ks == 0: no support centers.
+        let no_cs = SubspaceContext::from_parts(
+            c.subspace().clone(),
+            c.sample_rows().to_vec(),
+            c.cu().to_vec(),
+            Vec::new(),
+            c.cq().to_vec(),
+            c.encoder().clone(),
+        );
+        let err = try_generate_task_set(&no_cs, &cfg.task, 4, 2, &mut seeded(0));
+        assert_eq!(err.err(), Some(TaskGenError::NoSupportCenters));
+
+        // Empty pool with Δ > 0: nothing to draw random examples from.
+        let no_sample = SubspaceContext::from_parts(
+            c.subspace().clone(),
+            Vec::new(),
+            c.cu().to_vec(),
+            c.cs().to_vec(),
+            c.cq().to_vec(),
+            c.encoder().clone(),
+        );
+        assert!(cfg.task.delta > 0);
+        let err = try_generate_task_set(&no_sample, &cfg.task, 4, 2, &mut seeded(0));
+        assert_eq!(err.err(), Some(TaskGenError::EmptySample));
+        // Error messages are stable, human-readable text.
+        assert!(TaskGenError::NoUisCenters.to_string().contains("ku == 0"));
+
+        // A healthy context still succeeds through the fallible path.
+        let ok = try_generate_task_set(&c, &cfg.task, 4, 2, &mut seeded(0));
+        assert_eq!(ok.map(|t| t.len()).map_err(|e| e.to_string()), Ok(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid meta-task configuration")]
+    fn infallible_wrapper_panics_with_typed_message() {
+        let c = ctx();
+        let cfg = LteConfig::reduced();
+        let no_cu = SubspaceContext::from_parts(
+            c.subspace().clone(),
+            c.sample_rows().to_vec(),
+            Vec::new(),
+            c.cs().to_vec(),
+            c.cq().to_vec(),
+            c.encoder().clone(),
+        );
+        generate_task_set(&no_cu, &cfg.task, 4, 2, &mut seeded(0));
     }
 
     #[test]

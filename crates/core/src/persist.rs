@@ -570,6 +570,92 @@ pub fn load_pipeline(path: &Path) -> Result<LtePipeline, PersistError> {
     pipeline_from_bytes(&data)
 }
 
+// --------------------------------------------------------------- registry
+
+const REGISTRY_MAGIC: &[u8; 4] = b"LTER";
+const REGISTRY_VERSION: u8 = 1;
+
+/// Serialize a [`PipelineRegistry`](crate::routing::PipelineRegistry): an `LTER` container holding, per
+/// entry, the name, meta-feature centroid, task tags, and the pipeline as
+/// an embedded length-prefixed LTEP payload (same codec as
+/// [`pipeline_to_bytes`], so registries inherit LTEP's versioning).
+pub fn registry_to_bytes(registry: &crate::routing::PipelineRegistry) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.buf.extend_from_slice(REGISTRY_MAGIC);
+    e.u8(REGISTRY_VERSION);
+    e.usize(registry.len());
+    for entry in registry.entries() {
+        e.str(entry.name());
+        e.f64s(entry.centroid().values());
+        e.usize(entry.task_tags().len());
+        for tag in entry.task_tags() {
+            e.usize(tag.subspace);
+            e.usize(tag.task_index);
+            e.f64s(tag.features.values());
+        }
+        let payload = pipeline_to_bytes(entry.pipeline());
+        e.usize(payload.len());
+        e.buf.extend_from_slice(&payload);
+    }
+    e.buf
+}
+
+/// Deserialize a [`PipelineRegistry`](crate::routing::PipelineRegistry) written by [`registry_to_bytes`].
+/// Entry order — the routing tie-break — is preserved exactly.
+pub fn registry_from_bytes(data: &[u8]) -> Result<crate::routing::PipelineRegistry, PersistError> {
+    use crate::meta_features::MetaFeatures;
+    let mut d = Dec::new(data);
+    if d.take(4)? != REGISTRY_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = d.u8()?;
+    if version != REGISTRY_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let n_entries = d.len(1 << 10, "too many registry entries")?;
+    let mut registry = crate::routing::PipelineRegistry::new();
+    for _ in 0..n_entries {
+        let name = d.str()?;
+        let centroid = MetaFeatures::from_values(&d.f64s()?)
+            .ok_or(PersistError::Corrupt("bad centroid width"))?;
+        let n_tags = d.len(1 << 20, "too many task tags")?;
+        let mut task_tags = Vec::with_capacity(n_tags);
+        for _ in 0..n_tags {
+            let subspace = d.usize()?;
+            let task_index = d.usize()?;
+            let features = MetaFeatures::from_values(&d.f64s()?)
+                .ok_or(PersistError::Corrupt("bad task-tag feature width"))?;
+            task_tags.push(crate::routing::TaskTag {
+                subspace,
+                task_index,
+                features,
+            });
+        }
+        let payload_len = d.usize()?;
+        let payload = d.take(payload_len)?;
+        let pipeline = pipeline_from_bytes(payload)?;
+        registry.register_tagged(&name, std::sync::Arc::new(pipeline), centroid, task_tags);
+    }
+    if d.pos != data.len() {
+        return Err(PersistError::Corrupt("trailing bytes"));
+    }
+    Ok(registry)
+}
+
+/// Save a pipeline registry to a file.
+pub fn save_registry(
+    registry: &crate::routing::PipelineRegistry,
+    path: &Path,
+) -> Result<(), PersistError> {
+    fs::write(path, registry_to_bytes(registry)).map_err(|e| PersistError::Io(e.to_string()))
+}
+
+/// Load a pipeline registry from a file.
+pub fn load_registry(path: &Path) -> Result<crate::routing::PipelineRegistry, PersistError> {
+    let data = fs::read(path).map_err(|e| PersistError::Io(e.to_string()))?;
+    registry_from_bytes(&data)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -707,5 +793,68 @@ mod tests {
     fn loading_missing_file_is_io_error() {
         let err = load_pipeline(Path::new("/definitely/not/here.ltep")).unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn registry_round_trip_preserves_entries_and_routing() {
+        use crate::routing::{PipelineRegistry, Router};
+        let (p, pool) = trained_pipeline();
+        let truth = p.generate_truth(UisMode::new(4, 8), 11, 0.2, 0.9);
+        let mut reg = PipelineRegistry::new();
+        reg.register("only", std::sync::Arc::new(p), 6, 21);
+
+        let bytes = registry_to_bytes(&reg);
+        let loaded = registry_from_bytes(&bytes).expect("registry round trip");
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded.get(0).name(), "only");
+        assert_eq!(loaded.get(0).centroid(), reg.get(0).centroid());
+        assert_eq!(loaded.get(0).task_tags(), reg.get(0).task_tags());
+
+        // Routing through the loaded registry is identical.
+        let router = Router::new(3);
+        let a = router.route(&reg, &truth, &pool);
+        let b = router.route(&loaded, &truth, &pool);
+        assert_eq!(a, b);
+
+        // And so is exploration through the loaded pipeline.
+        let x = reg
+            .get(0)
+            .pipeline()
+            .explore(&truth, &pool, Variant::Meta, 4);
+        let y = loaded
+            .get(0)
+            .pipeline()
+            .explore(&truth, &pool, Variant::Meta, 4);
+        assert_eq!(x.confusion, y.confusion);
+    }
+
+    #[test]
+    fn registry_rejects_garbage_and_truncation() {
+        use crate::routing::PipelineRegistry;
+        assert_eq!(
+            registry_from_bytes(b"nope").unwrap_err(),
+            PersistError::BadMagic
+        );
+        assert_eq!(
+            registry_from_bytes(b"LTER\x07").unwrap_err(),
+            PersistError::UnsupportedVersion(7)
+        );
+        let (p, _) = trained_pipeline();
+        let mut reg = PipelineRegistry::new();
+        reg.register("x", std::sync::Arc::new(p), 4, 1);
+        let bytes = registry_to_bytes(&reg);
+        for cut in [5usize, 20, bytes.len() / 2, bytes.len() - 1] {
+            let err = registry_from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, PersistError::Corrupt(_)), "cut {cut}: {err}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(
+            registry_from_bytes(&padded).unwrap_err(),
+            PersistError::Corrupt("trailing bytes")
+        );
+        // An empty registry round-trips too.
+        let empty = registry_to_bytes(&PipelineRegistry::new());
+        assert_eq!(registry_from_bytes(&empty).unwrap().len(), 0);
     }
 }

@@ -79,6 +79,8 @@ pub mod swap;
 pub use admission::{AdmissionQueue, AdmissionState};
 pub use engine::{SessionEngine, SessionOutcome, SessionRequest};
 pub use scenario::{Cohort, ScenarioConfig, ScenarioOutcome, ScenarioRequest};
-pub use service::{ScoringService, ServiceOutcome, ServiceStats, TickReport};
+pub use service::{
+    RoutedSession, ScoringService, ScoringServiceBuilder, ServiceOutcome, ServiceStats, TickReport,
+};
 pub use stats::{percentile, CohortStats, ScenarioReport, ThroughputStats};
 pub use swap::SwapCell;

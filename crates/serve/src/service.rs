@@ -45,8 +45,9 @@ use lte_core::classifier::{score_pool_fused_with, PoolScoreRequest};
 use lte_core::explore::{finish_round, prepare_round, ExploreOutcome, PreparedRound, Variant};
 use lte_core::metrics::ConfusionMatrix;
 use lte_core::oracle::RegionOracle;
-use lte_core::parallel::parallel_map;
+use lte_core::parallel::{default_threads, parallel_map};
 use lte_core::pipeline::{EncodedPool, LtePipeline, UirOutcome};
+use lte_core::routing::{PipelineRegistry, Router, RoutingDecision};
 use lte_data::rng::derive_seed;
 use std::sync::Arc;
 use std::time::Instant;
@@ -71,11 +72,25 @@ struct ShardCache {
     pool: EncodedPool,
 }
 
+/// A family of shards fed by one [`Router`]: every entry of the registry
+/// became an internal shard at [`ScoringService::add_routed_shard`] time,
+/// and [`ScoringService::submit_routed`] picks among them per session.
+#[derive(Debug)]
+struct RoutedGroup {
+    name: String,
+    registry: Arc<PipelineRegistry>,
+    router: Router,
+    eval_rows: Vec<Vec<f64>>,
+    /// Internal shard index for each registry entry, in entry order.
+    shards: Vec<usize>,
+}
+
 /// A session waiting in the admission queue.
 #[derive(Debug)]
 struct PendingSession {
     shard: usize,
     request: SessionRequest,
+    routing: Option<RoutingDecision>,
     submit_seq: u64,
     submit_tick: u64,
 }
@@ -85,6 +100,7 @@ struct PendingSession {
 struct ActiveSession {
     shard: usize,
     request: SessionRequest,
+    routing: Option<RoutingDecision>,
     submit_seq: u64,
     submit_tick: u64,
     admitted_tick: u64,
@@ -121,6 +137,11 @@ pub struct ServiceOutcome {
     pub admitted_tick: u64,
     /// Tick at which the session's last round finished.
     pub completed_tick: u64,
+    /// How the session was routed — `Some` for sessions submitted through
+    /// [`ScoringService::submit_routed`], `None` for plain shard
+    /// submissions. The decision (and its explanation) is computed at
+    /// submit time and carried through unchanged.
+    pub routing: Option<RoutingDecision>,
 }
 
 /// What one tick did — returned by [`ScoringService::tick`] so callers
@@ -178,6 +199,116 @@ impl ServiceStats {
     }
 }
 
+/// Builds a [`ScoringService`] without constructor creep: worker count,
+/// admission capacity, plain shards, and routed shard groups all in one
+/// place.
+///
+/// ```no_run
+/// use lte_core::{LtePipeline, PipelineRegistry, Router};
+/// use lte_serve::ScoringService;
+/// use std::sync::Arc;
+///
+/// fn build_service(
+///     pipeline: Arc<LtePipeline>,
+///     registry: Arc<PipelineRegistry>,
+///     router: Router,
+///     rows: Vec<Vec<f64>>,
+/// ) -> ScoringService {
+///     ScoringService::builder()
+///         .workers(4)
+///         .capacity(64)
+///         .shard("sdss", pipeline, rows.clone())
+///         .routed_shard("analyst", registry, router, rows)
+///         .build()
+/// }
+/// ```
+/// A routed-group registration queued by the builder: group name,
+/// registry, router, and the group's full-space eval rows.
+type RoutedSpec = (String, Arc<PipelineRegistry>, Router, Vec<Vec<f64>>);
+
+#[derive(Debug)]
+pub struct ScoringServiceBuilder {
+    workers: usize,
+    capacity: usize,
+    shards: Vec<(String, Arc<LtePipeline>, Vec<Vec<f64>>)>,
+    routed: Vec<RoutedSpec>,
+}
+
+impl Default for ScoringServiceBuilder {
+    fn default() -> Self {
+        Self {
+            workers: default_threads(),
+            capacity: usize::MAX,
+            shards: Vec::new(),
+            routed: Vec::new(),
+        }
+    }
+}
+
+impl ScoringServiceBuilder {
+    /// Worker threads for prepare/score/finish (clamped to at least 1;
+    /// defaults to [`default_threads`]).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Admit at most `max_active` concurrent sessions; further
+    /// submissions park FIFO (defaults to unbounded).
+    pub fn capacity(mut self, max_active: usize) -> Self {
+        self.capacity = max_active;
+        self
+    }
+
+    /// Register a plain dataset shard (see [`ScoringService::add_shard`]).
+    pub fn shard(
+        mut self,
+        name: &str,
+        pipeline: Arc<LtePipeline>,
+        eval_rows: Vec<Vec<f64>>,
+    ) -> Self {
+        self.shards.push((name.to_string(), pipeline, eval_rows));
+        self
+    }
+
+    /// Register a routed shard group (see
+    /// [`ScoringService::add_routed_shard`]).
+    pub fn routed_shard(
+        mut self,
+        name: &str,
+        registry: Arc<PipelineRegistry>,
+        router: Router,
+        eval_rows: Vec<Vec<f64>>,
+    ) -> Self {
+        self.routed
+            .push((name.to_string(), registry, router, eval_rows));
+        self
+    }
+
+    /// Build the service. Shards keep registration order; routed groups
+    /// register after plain shards.
+    pub fn build(self) -> ScoringService {
+        let mut service = ScoringService {
+            workers: self.workers,
+            admission: AdmissionQueue::bounded(self.capacity),
+            shards: Vec::new(),
+            groups: Vec::new(),
+            active: Vec::new(),
+            completed: Vec::new(),
+            tick: 0,
+            submit_seq: 0,
+            stats: ServiceStats::default(),
+        };
+        for (name, pipeline, rows) in self.shards {
+            service.add_shard(&name, pipeline, rows);
+        }
+        for (name, registry, router, rows) in self.routed {
+            service.add_routed_shard(&name, registry, router, rows);
+        }
+        service
+    }
+}
+
 /// The cross-session batched scoring service. See the module docs for the
 /// tick loop; see `docs/SERVING.md` for the serving architecture.
 #[derive(Debug)]
@@ -185,6 +316,7 @@ pub struct ScoringService {
     workers: usize,
     admission: AdmissionQueue<PendingSession>,
     shards: Vec<Shard>,
+    groups: Vec<RoutedGroup>,
     active: Vec<ActiveSession>,
     completed: Vec<ServiceOutcome>,
     tick: u64,
@@ -193,25 +325,26 @@ pub struct ScoringService {
 }
 
 impl ScoringService {
+    /// Start building a service: [`ScoringServiceBuilder`] gathers worker
+    /// count, capacity, shards, and routed groups before construction.
+    pub fn builder() -> ScoringServiceBuilder {
+        ScoringServiceBuilder::default()
+    }
+
     /// A service with unbounded admission: every submitted session joins
-    /// the next tick's batch.
+    /// the next tick's batch. Shim over [`ScoringService::builder`].
     pub fn new(workers: usize) -> Self {
-        Self::with_capacity(workers, usize::MAX)
+        Self::builder().workers(workers).build()
     }
 
     /// A service admitting at most `max_active` concurrent sessions;
-    /// further submissions park (FIFO) without occupying a worker.
+    /// further submissions park (FIFO) without occupying a worker. Shim
+    /// over [`ScoringService::builder`].
     pub fn with_capacity(workers: usize, max_active: usize) -> Self {
-        Self {
-            workers: workers.max(1),
-            admission: AdmissionQueue::bounded(max_active),
-            shards: Vec::new(),
-            active: Vec::new(),
-            completed: Vec::new(),
-            tick: 0,
-            submit_seq: 0,
-            stats: ServiceStats::default(),
-        }
+        Self::builder()
+            .workers(workers)
+            .capacity(max_active)
+            .build()
     }
 
     /// The worker count in force.
@@ -245,9 +378,63 @@ impl ScoringService {
         self.shards.len() - 1
     }
 
+    /// Register a routed shard group: every entry of `registry` becomes an
+    /// internal shard named `"{name}/{entry}"` (same retrieval pool, own
+    /// [`SwapCell`]), and [`ScoringService::submit_routed`] lets the
+    /// [`Router`] pick among them per session. Returns the group index.
+    ///
+    /// Routing composes with everything the plain shards already do: the
+    /// chosen entry's rounds are fused into the same per-tick scoring call
+    /// as every other session, its encoded pool is cached per epoch, and
+    /// each entry can still be hot-swapped through
+    /// [`ScoringService::swap_handle`] on its internal shard.
+    ///
+    /// # Panics
+    /// Panics when the registry is empty or a name collides.
+    pub fn add_routed_shard(
+        &mut self,
+        name: &str,
+        registry: Arc<PipelineRegistry>,
+        router: Router,
+        eval_rows: Vec<Vec<f64>>,
+    ) -> usize {
+        assert!(
+            !registry.is_empty(),
+            "routed shard {name:?} needs a non-empty registry"
+        );
+        assert!(
+            self.group_index(name).is_none(),
+            "routed shard {name:?} already registered"
+        );
+        let shards: Vec<usize> = registry
+            .entries()
+            .iter()
+            .map(|entry| {
+                self.add_shard(
+                    &format!("{name}/{}", entry.name()),
+                    Arc::clone(entry.pipeline()),
+                    eval_rows.clone(),
+                )
+            })
+            .collect();
+        self.groups.push(RoutedGroup {
+            name: name.to_string(),
+            registry,
+            router,
+            eval_rows,
+            shards,
+        });
+        self.groups.len() - 1
+    }
+
     /// Look a shard up by name.
     pub fn shard_index(&self, name: &str) -> Option<usize> {
         self.shards.iter().position(|s| s.name == name)
+    }
+
+    /// Look a routed group up by name.
+    pub fn group_index(&self, name: &str) -> Option<usize> {
+        self.groups.iter().position(|g| g.name == name)
     }
 
     /// A shard's name.
@@ -274,6 +461,43 @@ impl ScoringService {
         let shard = self
             .shard_index(shard)
             .unwrap_or_else(|| panic!("unknown shard {shard:?}"));
+        self.submit_to(shard, request, None)
+    }
+
+    /// Submit a session to a routed group: the group's [`Router`] scores
+    /// the session's ground truth against the registry and the session is
+    /// parked on the chosen entry's internal shard. The full
+    /// [`RoutingDecision`] (with its explanation) is returned immediately
+    /// and echoed on the session's [`ServiceOutcome`].
+    ///
+    /// The decision depends only on the router seed, the session's truth,
+    /// and the group's retrieval pool — never on the worker count, tick
+    /// phase, or other in-flight sessions.
+    ///
+    /// # Panics
+    /// Panics when the group name is unknown or no registry entry is
+    /// compatible with the session's subspace decomposition.
+    pub fn submit_routed(
+        &mut self,
+        group: &str,
+        request: SessionRequest,
+    ) -> (AdmissionState, RoutingDecision) {
+        let g = self
+            .group_index(group)
+            .unwrap_or_else(|| panic!("unknown routed shard {group:?}"));
+        let g = &self.groups[g];
+        let decision = g.router.route(&g.registry, &request.truth, &g.eval_rows);
+        let shard = g.shards[decision.chosen];
+        let state = self.submit_to(shard, request, Some(decision.clone()));
+        (state, decision)
+    }
+
+    fn submit_to(
+        &mut self,
+        shard: usize,
+        request: SessionRequest,
+        routing: Option<RoutingDecision>,
+    ) -> AdmissionState {
         assert_eq!(
             request.truth.parts().len(),
             self.shards[shard].n_subspaces,
@@ -282,6 +506,7 @@ impl ScoringService {
         let pending = PendingSession {
             shard,
             request,
+            routing,
             submit_seq: self.submit_seq,
             submit_tick: self.tick,
         };
@@ -339,6 +564,7 @@ impl ScoringService {
             self.active.push(ActiveSession {
                 shard: p.shard,
                 request: p.request,
+                routing: p.routing,
                 submit_seq: p.submit_seq,
                 submit_tick: p.submit_tick,
                 admitted_tick: tick,
@@ -518,6 +744,7 @@ impl ScoringService {
                 submit_tick: s.submit_tick,
                 admitted_tick: s.admitted_tick,
                 completed_tick: tick,
+                routing: s.routing,
             });
             completed += 1;
         }
@@ -560,7 +787,58 @@ impl ScoringService {
     }
 }
 
+/// One completed routed session: the outcome plus the routing decision
+/// that picked its pipeline.
+#[derive(Debug, Clone)]
+pub struct RoutedSession {
+    /// The session result, in the per-session engine's shape.
+    pub outcome: SessionOutcome,
+    /// Which registry entry served it, and why (see
+    /// [`RoutingDecision::explanation`]).
+    pub decision: RoutingDecision,
+}
+
 impl SessionEngine {
+    /// Serve every request through a [`PipelineRegistry`]: the router
+    /// picks a pipeline per session (explained in each
+    /// [`RoutedSession::decision`]) and the sessions run through the fused
+    /// [`ScoringService`] tick loop at this engine's worker count.
+    ///
+    /// The engine's own pipeline is not consulted — the registry is the
+    /// model library — but the worker pool and determinism contract are
+    /// the engine's: outcomes come back in request order, bit-identical at
+    /// any worker count. With a single-entry registry this degenerates to
+    /// [`SessionEngine::run_sessions_fused`] over that entry's pipeline,
+    /// bitwise.
+    pub fn run_sessions_routed(
+        &self,
+        requests: Vec<SessionRequest>,
+        eval_rows: &[Vec<f64>],
+        registry: Arc<PipelineRegistry>,
+        router: Router,
+    ) -> Vec<RoutedSession> {
+        let mut service = ScoringService::builder()
+            .workers(self.workers())
+            .routed_shard("routed", registry, router, eval_rows.to_vec())
+            .build();
+        for req in requests {
+            service.submit_routed("routed", req);
+        }
+        service.run_until_idle();
+        let mut done = service.take_completed();
+        done.sort_by_key(|o| o.submit_seq);
+        done.into_iter()
+            .map(|o| RoutedSession {
+                outcome: SessionOutcome {
+                    id: o.id,
+                    wall_seconds: o.outcome.online_seconds,
+                    outcome: o.outcome,
+                },
+                decision: o.routing.expect("routed submissions carry a decision"),
+            })
+            .collect()
+    }
+
     /// [`SessionEngine::run_sessions`] through the fused
     /// [`ScoringService`]: one "default" shard over this engine's
     /// pipeline, every session admitted immediately, pool scoring fused

@@ -53,20 +53,24 @@ pub use lte_serve as serve;
 pub mod prelude {
     pub use lte_core::config::{LteConfig, ScoringPrecision};
     pub use lte_core::explore::Variant;
+    pub use lte_core::meta_features::{FeatureDelta, MetaFeatures};
     pub use lte_core::metrics::ConfusionMatrix;
     pub use lte_core::oracle::{
         BehaviorOracle, Cadence, ConjunctiveOracle, RegionOracle, SubspaceOracle,
     };
-    pub use lte_core::persist::{load_pipeline, save_pipeline};
+    pub use lte_core::persist::{load_pipeline, load_registry, save_pipeline, save_registry};
     pub use lte_core::pipeline::{LtePipeline, UirOutcome};
+    pub use lte_core::routing::{PipelineRegistry, Router, RoutingDecision};
     pub use lte_core::scenario::{BehaviorConfig, BehavioralOutcome, DriftSpec, DriftTrigger};
+    pub use lte_core::scorer::{ScoreRequest, Scorer};
     pub use lte_core::uis::UisMode;
     pub use lte_data::csv::{read_csv, write_csv};
     pub use lte_data::subspace::{decompose_random, decompose_sequential, Subspace};
     pub use lte_data::{Dataset, Table};
     pub use lte_geom::{Region, RegionUnion};
     pub use lte_serve::{
-        AdmissionState, Cohort, ScenarioConfig, ScenarioReport, ScoringService, ServiceOutcome,
-        SessionEngine, SessionOutcome, SessionRequest, SwapCell, ThroughputStats,
+        AdmissionState, Cohort, RoutedSession, ScenarioConfig, ScenarioReport, ScoringService,
+        ScoringServiceBuilder, ServiceOutcome, SessionEngine, SessionOutcome, SessionRequest,
+        SwapCell, ThroughputStats,
     };
 }
