@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use lte_core::classifier::{ClassifierConfig, Grads, UisClassifier};
 use lte_core::config::ScoringPrecision;
 use lte_data::rng::seeded;
-use lte_nn::{Matrix, Matrix32};
+use lte_nn::{matmul_nt_ranked, Activation, Epilogue, Matrix, Matrix32};
 use std::hint::black_box;
 
 fn bench_nn(c: &mut Criterion) {
@@ -83,6 +83,10 @@ fn bench_pool_scoring(c: &mut Criterion) {
     c.bench_function("pool_scoring_f32_4096x64", |b| {
         b.iter(|| clf.score_pool(black_box(&v_r), black_box(&pool), ScoringPrecision::Fast)[0]);
     });
+
+    c.bench_function("pool_scoring_ranked_i8_4096x64", |b| {
+        b.iter(|| clf.score_pool(black_box(&v_r), black_box(&pool), ScoringPrecision::Ranked)[0]);
+    });
 }
 
 /// The raw matmul kernels under pool scoring, isolated from the classifier:
@@ -120,6 +124,37 @@ fn bench_matmul_kernels(c: &mut Criterion) {
 
     c.bench_function("matmul_nt_f32_512x64x64", |bench| {
         bench.iter(|| black_box(&a32).matmul_nt(black_box(&b32)).row(0)[0]);
+    });
+
+    // One dense layer with bias + ReLU: the old three-pass pipeline vs the
+    // fused epilogue (bias add and ReLU in-register before the store).
+    let bias: Vec<f32> = (0..m).map(|j| (j as f32 * 0.07).sin()).collect();
+    c.bench_function("layer_f32_unfused_512x64x64", |bench| {
+        bench.iter(|| {
+            let mut out = black_box(&a32).matmul_nt(black_box(&b32));
+            out.add_row_bias(black_box(&bias));
+            Activation::Relu.apply_slice_f32(out.data_mut());
+            out.row(0)[0]
+        });
+    });
+
+    c.bench_function("layer_f32_fused_512x64x64", |bench| {
+        bench.iter(|| {
+            black_box(&a32)
+                .matmul_nt_ep(black_box(&b32), Epilogue::new(&bias, Activation::Relu))
+                .row(0)[0]
+        });
+    });
+
+    c.bench_function("layer_i8_ranked_512x64x64", |bench| {
+        bench.iter(|| {
+            matmul_nt_ranked(
+                black_box(&a32),
+                black_box(&b32),
+                Epilogue::new(&bias, Activation::Relu),
+            )
+            .row(0)[0]
+        });
     });
 }
 

@@ -1,26 +1,33 @@
 //! Pool-scoring latency ladder with a machine-readable snapshot.
 //!
 //! Measures the serving-scale pool prediction (4096 tuples × 64 features
-//! through one UIS classifier) across the three scoring modes this repo
+//! through one UIS classifier) across the four scoring modes this repo
 //! has grown, worst to best:
 //!
 //! 1. **per_point** — one `UisClassifier::logit` call per tuple, the
 //!    original online path (per-call forward-cache allocations),
 //! 2. **batched_f64** — `logits_batch`: one `forward_batch` pass per block
 //!    on the tiled f64 kernel, bit-compatible with per-point logits,
-//! 3. **fast_f32** — `score_pool(.., ScoringPrecision::Fast)`: the 8-lane
-//!    f32 kernels, rank-stable within the documented noise floor.
+//! 3. **fast_f32** — `score_pool(.., ScoringPrecision::Fast)`: the SIMD
+//!    f32 kernels with the fused bias+activation epilogue, rank-stable
+//!    within the documented noise floor,
+//! 4. **ranked_i8** — `score_pool(.., ScoringPrecision::Ranked)`: i8
+//!    dynamic quantization, valid for argmax-order ranking only.
 //!
-//! The raw matmul kernels under those paths (naive triple loop vs tiled
-//! f64 vs f32, at one classifier-layer shape) are timed alongside so
-//! kernel-level and end-to-end wins can be told apart.
+//! The raw kernels under those paths are timed alongside at one
+//! classifier-layer shape so kernel-level and end-to-end wins can be told
+//! apart: naive/tiled f64, the f32 path unfused (matmul → bias pass →
+//! ReLU pass) vs fused (one epilogue kernel), each SIMD microkernel pinned
+//! individually (AVX-512F, AVX2+FMA — emitted with an `unsupported` marker
+//! when the host lacks the feature), and the quantized i8 kernel.
 //!
 //! Unlike the criterion benches (vendored criterion has no JSON output),
 //! this experiment writes `BENCH_pool_scoring.json` — a committed snapshot
 //! future PRs regenerate on comparable hardware to track the perf
-//! trajectory. See `docs/PERFORMANCE.md` for how to produce and compare
-//! snapshots. Numbers move with the machine; speedup *ratios* are the
-//! stable signal.
+//! trajectory. The snapshot records `threads` and `cpu_features` so the
+//! numbers carry their hardware context. See `docs/PERFORMANCE.md` for how
+//! to produce and compare snapshots. Numbers move with the machine;
+//! speedup *ratios* are the stable signal.
 
 use crate::env::BenchEnv;
 use crate::report::Report;
@@ -28,18 +35,20 @@ use lte_core::classifier::{ClassifierConfig, UisClassifier};
 use lte_core::config::ScoringPrecision;
 use lte_core::parallel::default_threads;
 use lte_data::rng::seeded;
-use lte_nn::{Matrix, Matrix32};
+use lte_nn::{cpu_features, matmul_nt_ranked, Activation, Epilogue, KernelKind, Matrix, Matrix32};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::path::Path;
 use std::time::Instant;
 
-/// One measured configuration: median + mean wall time over the run's
-/// iteration count.
+/// One snapshot row: median + mean wall time over the run's iteration
+/// count, or an explicit `unsupported` marker for a SIMD kernel the host
+/// cannot execute (so its absence is recorded, not silent).
 struct Timing {
     name: &'static str,
     median_ns: u128,
     mean_ns: u128,
+    unsupported: bool,
 }
 
 /// Median/mean wall time of `f` over `iters` timed runs (after one warmup).
@@ -90,35 +99,44 @@ pub fn run(env: &BenchEnv, out: Option<&Path>, smoke: bool) {
         .collect();
 
     let mut timings: Vec<Timing> = Vec::new();
-    let mut push = |name, (median_ns, mean_ns)| {
+    // `None` marks a SIMD kernel the host cannot run.
+    let mut push = |name, timed: Option<(u128, u128)>| {
+        let (median_ns, mean_ns) = timed.unwrap_or((0, 0));
         timings.push(Timing {
             name,
             median_ns,
             mean_ns,
+            unsupported: timed.is_none(),
         })
     };
 
     push(
         "per_point",
-        time_ns(iters, || {
+        Some(time_ns(iters, || {
             let scores: Vec<f64> = pool
                 .iter()
                 .map(|row| clf.logit(black_box(&v_r), black_box(row)))
                 .collect();
             black_box(scores[0]);
-        }),
+        })),
     );
     push(
         "batched_f64",
-        time_ns(iters, || {
+        Some(time_ns(iters, || {
             black_box(clf.score_pool(black_box(&v_r), black_box(&pool), ScoringPrecision::Exact));
-        }),
+        })),
     );
     push(
         "fast_f32",
-        time_ns(iters, || {
+        Some(time_ns(iters, || {
             black_box(clf.score_pool(black_box(&v_r), black_box(&pool), ScoringPrecision::Fast));
-        }),
+        })),
+    );
+    push(
+        "ranked_i8",
+        Some(time_ns(iters, || {
+            black_box(clf.score_pool(black_box(&v_r), black_box(&pool), ScoringPrecision::Ranked));
+        })),
     );
 
     // Raw kernels at one classifier-layer shape (pool-block × Ne · Ne × Ne).
@@ -126,9 +144,10 @@ pub fn run(env: &BenchEnv, out: Option<&Path>, smoke: bool) {
     let a = Matrix::from_fn(kn, kk, |i, j| ((i * kk + j) as f64 * 0.017).sin());
     let b = Matrix::from_fn(km, kk, |i, j| ((i * kk + j) as f64 * 0.029).cos());
     let (a32, b32) = (Matrix32::from_f64(&a), Matrix32::from_f64(&b));
+    let bias: Vec<f32> = (0..km).map(|j| (j as f32 * 0.07).sin()).collect();
     push(
         "kernel_naive_f64",
-        time_ns(iters, || {
+        Some(time_ns(iters, || {
             let mut out = Matrix::zeros(kn, km);
             for i in 0..kn {
                 for j in 0..km {
@@ -140,19 +159,77 @@ pub fn run(env: &BenchEnv, out: Option<&Path>, smoke: bool) {
                 }
             }
             black_box(out.row(0)[0]);
-        }),
+        })),
     );
     push(
         "kernel_tiled_f64",
-        time_ns(iters, || {
+        Some(time_ns(iters, || {
             black_box(black_box(&a).matmul_nt(black_box(&b)).row(0)[0]);
-        }),
+        })),
     );
+    // Bare matmul on the auto-detected kernel — the row committed
+    // snapshots have tracked since the f32 path landed.
     push(
         "kernel_f32",
-        time_ns(iters, || {
+        Some(time_ns(iters, || {
             black_box(black_box(&a32).matmul_nt(black_box(&b32)).row(0)[0]);
-        }),
+        })),
+    );
+    // One dense layer, old pipeline: matmul, then a full bias pass, then a
+    // full ReLU pass over the output.
+    push(
+        "kernel_f32_unfused",
+        Some(time_ns(iters, || {
+            let mut out = black_box(&a32).matmul_nt(black_box(&b32));
+            out.add_row_bias(black_box(&bias));
+            Activation::Relu.apply_slice_f32(out.data_mut());
+            black_box(out.row(0)[0]);
+        })),
+    );
+    // Same layer, fused epilogue: bias + ReLU in-register before store.
+    push(
+        "kernel_f32_fused",
+        Some(time_ns(iters, || {
+            let out = black_box(&a32)
+                .matmul_nt_ep(black_box(&b32), Epilogue::new(&bias, Activation::Relu));
+            black_box(out.row(0)[0]);
+        })),
+    );
+    // Each SIMD microkernel pinned explicitly (same fused layer). Hosts
+    // without the feature record the row as unsupported rather than
+    // silently dropping it.
+    for (name, kind) in [
+        ("kernel_f32_avx512", KernelKind::Avx512f),
+        ("kernel_f32_avx2", KernelKind::Avx2Fma),
+    ] {
+        if kind.supported() {
+            push(
+                name,
+                Some(time_ns(iters, || {
+                    let out = black_box(&a32).matmul_nt_ep_with(
+                        black_box(&b32),
+                        Epilogue::new(&bias, Activation::Relu),
+                        kind,
+                    );
+                    black_box(out.row(0)[0]);
+                })),
+            );
+        } else {
+            push(name, None);
+        }
+    }
+    // Quantized layer: per-row absmax quantization of both operands plus
+    // the i8 multiply — the per-call cost the Ranked path actually pays.
+    push(
+        "kernel_i8",
+        Some(time_ns(iters, || {
+            let out = matmul_nt_ranked(
+                black_box(&a32),
+                black_box(&b32),
+                Epilogue::new(&bias, Activation::Relu),
+            );
+            black_box(out.row(0)[0]);
+        })),
     );
 
     let per_point_ns = timings[0].median_ns;
@@ -161,6 +238,15 @@ pub fn run(env: &BenchEnv, out: Option<&Path>, smoke: bool) {
         &["mode", "median", "mean", "vs per_point"],
     );
     for t in &timings {
+        if t.unsupported {
+            report.push_row(vec![
+                t.name.to_string(),
+                "n/a".to_string(),
+                "n/a".to_string(),
+                "unsupported".to_string(),
+            ]);
+            continue;
+        }
         let speedup = if t.name.starts_with("kernel") {
             "-".to_string()
         } else {
@@ -195,6 +281,7 @@ pub fn run(env: &BenchEnv, out: Option<&Path>, smoke: bool) {
 
 /// Hand-rolled JSON (the workspace deliberately has no serde): a flat
 /// object keyed by mode with median/mean nanoseconds plus run metadata.
+/// Kernels the host cannot run appear as `{ "unsupported": true }`.
 fn snapshot_json(pool_rows: usize, nr: usize, iters: usize, timings: &[Timing]) -> String {
     let per_point_ns = timings[0].median_ns;
     let mut s = String::from("{\n");
@@ -203,9 +290,19 @@ fn snapshot_json(pool_rows: usize, nr: usize, iters: usize, timings: &[Timing]) 
     let _ = writeln!(s, "  \"features\": {nr},");
     let _ = writeln!(s, "  \"iters\": {iters},");
     let _ = writeln!(s, "  \"threads\": {},", default_threads());
+    let _ = writeln!(s, "  \"cpu_features\": \"{}\",", cpu_features());
+    let _ = writeln!(s, "  \"kernel\": \"{}\",", KernelKind::detect());
     let _ = writeln!(s, "  \"modes\": {{");
     for (i, t) in timings.iter().enumerate() {
         let comma = if i + 1 < timings.len() { "," } else { "" };
+        if t.unsupported {
+            let _ = writeln!(
+                s,
+                "    \"{}\": {{ \"unsupported\": true }}{}",
+                t.name, comma
+            );
+            continue;
+        }
         // Speedup only makes sense within the scoring modes; the kernel
         // rows time a different (single-matmul) workload.
         let speedup = if t.name.starts_with("kernel") {

@@ -318,6 +318,8 @@ fn snapshot_json(
     let _ = writeln!(s, "  \"smoke\": {smoke},");
     let _ = writeln!(s, "  \"sessions\": {sessions},");
     let _ = writeln!(s, "  \"workers\": {workers},");
+    let _ = writeln!(s, "  \"threads\": {},", default_threads());
+    let _ = writeln!(s, "  \"cpu_features\": \"{}\",", lte_nn::cpu_features());
     let _ = writeln!(s, "  \"pool_rows\": {pool_rows},");
     let _ = writeln!(s, "  \"variant\": \"Meta\",");
     let _ = writeln!(s, "  \"registry\": {{");

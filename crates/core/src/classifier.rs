@@ -15,7 +15,7 @@
 //! locally fine-tuned by backpropagation together with θ (§VI-B).
 
 use lte_nn::loss::bce_with_logits;
-use lte_nn::{Activation, Matrix, Matrix32, Mlp, MlpCache};
+use lte_nn::{matmul_nt_ranked, Activation, Epilogue, Matrix, Matrix32, Mlp, MlpCache};
 use rand::Rng;
 
 /// Architecture of the UIS classifier.
@@ -304,6 +304,23 @@ impl UisClassifier {
         self.chunked(tuples, |chunk| self.logits_block_f32(v_r, chunk))
     }
 
+    /// i8-quantized batched inference — [`UisClassifier::logits_batch`]
+    /// on the quantized ranking kernels ([`Mlp::forward_batch_ranked`]),
+    /// for **argmax-order ranking only**: quantization error is
+    /// percent-level, far outside the `f32` noise floor, so the raw values
+    /// must never feed thresholds or calibration (see
+    /// [`ScoringPrecision::Ranked`](crate::config::ScoringPrecision) for
+    /// the contract). Quantization scales are row-local and the integer
+    /// accumulation is exact, so block-parallel dispatch stays bitwise
+    /// identical to the serial pass at any worker count.
+    ///
+    /// # Panics
+    /// Panics when input widths disagree with the architecture.
+    pub fn logits_batch_ranked(&self, v_r: &[f64], tuples: &[Vec<f64>]) -> Vec<f32> {
+        assert_eq!(v_r.len(), self.cfg.ku, "vR width mismatch");
+        self.chunked(tuples, |chunk| self.logits_block_ranked(v_r, chunk))
+    }
+
     /// Score a retrieval pool at the configured precision, always returning
     /// `f64` logits (Fast-mode `f32` logits are promoted exactly). Thin
     /// shim over the unified [`Scorer::score`](crate::scorer::Scorer::score)
@@ -388,9 +405,12 @@ impl UisClassifier {
             Some(mcp) => {
                 let (r_const, mcp_right) = self.split_conversion(mcp, &r_emb);
                 let r_const32: Vec<f32> = r_const.iter().map(|&v| v as f32).collect();
-                let mut z = t_emb.matmul_nt(&Matrix32::from_f64(&mcp_right));
-                z.add_row_bias(&r_const32);
-                z
+                // The pool-constant `r_const` rides the kernel epilogue
+                // instead of a second full pass over the product.
+                t_emb.matmul_nt_ep(
+                    &Matrix32::from_f64(&mcp_right),
+                    Epilogue::bias_only(&r_const32),
+                )
             }
             None => {
                 let r_emb32: Vec<f32> = r_emb.iter().map(|&v| v as f32).collect();
@@ -404,6 +424,41 @@ impl UisClassifier {
             }
         };
         self.clf_block.forward_batch_f32(&clf_in).data().to_vec()
+    }
+
+    /// Serial i8-quantized scoring of one row block: same algebra as
+    /// [`UisClassifier::logits_block_f32`], with every per-tuple matmul on
+    /// the quantized ranking kernels (the pool-constant UIS embedding and
+    /// conversion split stay in `f64`, exactly as in the `f32` path, and
+    /// fold into the fused epilogue as the bias).
+    fn logits_block_ranked(&self, v_r: &[f64], tuples: &[Vec<f64>]) -> Vec<f32> {
+        let x = Matrix32::from_rows(tuples, self.cfg.nr);
+        let r_emb = self.r_block.forward(v_r);
+        let t_emb = self.t_block.forward_batch_ranked(&x);
+        let ne = self.cfg.ne;
+
+        let clf_in = match &self.conversion {
+            Some(mcp) => {
+                let (r_const, mcp_right) = self.split_conversion(mcp, &r_emb);
+                let r_const32: Vec<f32> = r_const.iter().map(|&v| v as f32).collect();
+                matmul_nt_ranked(
+                    &t_emb,
+                    &Matrix32::from_f64(&mcp_right),
+                    Epilogue::bias_only(&r_const32),
+                )
+            }
+            None => {
+                let r_emb32: Vec<f32> = r_emb.iter().map(|&v| v as f32).collect();
+                let mut concat = Matrix32::zeros(tuples.len(), 2 * ne);
+                for r in 0..tuples.len() {
+                    let row = concat.row_mut(r);
+                    row[..ne].copy_from_slice(&r_emb32);
+                    row[ne..].copy_from_slice(t_emb.row(r));
+                }
+                concat
+            }
+        };
+        self.clf_block.forward_batch_ranked(&clf_in).data().to_vec()
     }
 
     /// Split the conversion `Mcp·[embR | embτ]` into the pool-constant
@@ -580,6 +635,11 @@ impl crate::scorer::Scorer for UisClassifier {
             crate::config::ScoringPrecision::Exact => self.logits_block(v_r, rows),
             crate::config::ScoringPrecision::Fast => self
                 .logits_block_f32(v_r, rows)
+                .into_iter()
+                .map(f64::from)
+                .collect(),
+            crate::config::ScoringPrecision::Ranked => self
+                .logits_block_ranked(v_r, rows)
                 .into_iter()
                 .map(f64::from)
                 .collect(),

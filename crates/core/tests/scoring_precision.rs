@@ -1,9 +1,12 @@
-//! Property tests pinning the `f32` fast-path scoring contract against the
-//! `f64` reference (see `ScoringPrecision`): Fast logits must track Exact
-//! logits within the accumulated-round-off tolerance, pool *ranking* must
-//! agree exactly for every pair separated by more than the `f32` noise
-//! floor, and the row-block parallel dispatch must be bit-identical to the
-//! serial pass at any worker count.
+//! Property tests pinning the reduced-precision scoring contracts against
+//! the `f64` reference (see `ScoringPrecision`): Fast logits must track
+//! Exact logits within the accumulated-round-off tolerance, pool *ranking*
+//! must agree exactly for every pair separated by more than the mode's
+//! noise floor (`f32` round-off for `Fast`, percent-level quantization
+//! error for `Ranked`), the fused kernel epilogue must be **bitwise**
+//! identical to the unfused bias/activation passes, and the row-block
+//! parallel dispatch must be bit-identical to the serial pass at any
+//! worker count.
 
 use lte_core::classifier::{
     score_pool_fused_with, ClassifierConfig, PoolScoreRequest, UisClassifier,
@@ -11,6 +14,7 @@ use lte_core::classifier::{
 use lte_core::config::ScoringPrecision;
 use lte_core::parallel::parallel_flat_map_chunks;
 use lte_data::rng::seeded;
+use lte_nn::{Activation, Epilogue, Matrix, Matrix32};
 use proptest::prelude::*;
 
 /// Build a deterministic classifier plus a pool of encoded tuples from a
@@ -154,6 +158,122 @@ proptest! {
             clf.logits_batch_f32(&v_r, chunk)
         });
         prop_assert_eq!(&serial_fast, &chunked_fast);
+        // Ranked: quantization scales are row-local and integer k-sums
+        // exact, so chunking cannot move a bit either.
+        let serial_ranked = clf.logits_batch_ranked(&v_r, &tuples);
+        let chunked_ranked = parallel_flat_map_chunks(&tuples, block, threads, |chunk| {
+            clf.logits_batch_ranked(&v_r, chunk)
+        });
+        prop_assert_eq!(&serial_ranked, &chunked_ranked);
+    }
+
+    /// The fused kernel epilogue (`matmul_nt_ep` with bias + activation)
+    /// must equal the unfused composition `matmul_nt` → `add_row_bias` →
+    /// `apply_slice_f32` **bitwise** on every shape and activation — the
+    /// fusion is a scheduling change, never a numeric one.
+    #[test]
+    fn fused_epilogue_is_bitwise_equal_to_unfused_passes(
+        seed in 0u64..500,
+        n in 1usize..48,
+        m in 1usize..48,
+        k in 1usize..48,
+        act_pick in 0usize..4,
+    ) {
+        let act = [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ][act_pick];
+        let s = seed as f64;
+        let a = Matrix32::from_f64(&Matrix::from_fn(n, k, |r, c| {
+            ((r * 31 + c * 17) as f64 * 0.11 + s).sin()
+        }));
+        let b = Matrix32::from_f64(&Matrix::from_fn(m, k, |r, c| {
+            ((r * 13 + c * 7) as f64 * 0.23 + s).cos()
+        }));
+        let bias: Vec<f32> = (0..m).map(|j| ((j as f64 + s) * 0.31).sin() as f32).collect();
+        let fused = a.matmul_nt_ep(&b, Epilogue::new(&bias, act));
+        let mut unfused = a.matmul_nt(&b);
+        unfused.add_row_bias(&bias);
+        act.apply_slice_f32(unfused.data_mut());
+        for (i, (x, y)) in fused.data().iter().zip(unfused.data()).enumerate() {
+            prop_assert_eq!(
+                x.to_bits(), y.to_bits(),
+                "{}x{}x{} {:?} elem {}: fused {} vs unfused {}",
+                n, m, k, act, i, x, y
+            );
+        }
+    }
+
+    /// Ranked (i8) logits track Exact (f64) logits within the quantization
+    /// error budget. Per-row absmax quantization loses ~1/254 of each
+    /// row's dynamic range per operand; composed over the classifier's
+    /// quantized stages the worst observed deviation is ~4% of the pool's
+    /// logit scale (measured across 480 seed/shape combinations), so 10%
+    /// catches real kernel bugs with >2x headroom.
+    #[test]
+    fn ranked_logits_track_exact_within_quant_budget(
+        seed in 0u64..500,
+        ku in 2usize..12,
+        nr in 2usize..12,
+        ne in 4usize..24,
+        use_conversion in proptest::bool::ANY,
+        pool in 1usize..96,
+    ) {
+        let (clf, v_r, tuples) = setup(seed, ku, nr, ne, use_conversion, pool);
+        let exact = clf.score_pool(&v_r, &tuples, ScoringPrecision::Exact);
+        let ranked = clf.score_pool(&v_r, &tuples, ScoringPrecision::Ranked);
+        prop_assert_eq!(exact.len(), ranked.len());
+        let scale = exact.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+        for (i, (&e, &r)) in exact.iter().zip(&ranked).enumerate() {
+            prop_assert!(
+                (e - r).abs() <= 0.1 * scale,
+                "logit {} outside quant budget: exact {} vs ranked {} (scale {})",
+                i, e, r, scale
+            );
+        }
+    }
+
+    /// Pool ranking agrees between Exact and Ranked for every pair of
+    /// points separated by more than the quantization noise floor — the
+    /// `Ranked` mode's whole contract is argmax-order fidelity above that
+    /// floor. The floor is 20% of the pool's logit scale: ~4.5x the worst
+    /// deviation observed per logit (see the tracking test above), i.e.
+    /// >2x the worst possible pairwise error.
+    #[test]
+    fn ranked_ranking_matches_exact_above_quant_noise_floor(
+        seed in 0u64..500,
+        ne in 4usize..20,
+        use_conversion in proptest::bool::ANY,
+        pool in 2usize..128,
+    ) {
+        let (clf, v_r, tuples) = setup(seed, 6, 5, ne, use_conversion, pool);
+        let exact = clf.score_pool(&v_r, &tuples, ScoringPrecision::Exact);
+        let ranked = clf.score_pool(&v_r, &tuples, ScoringPrecision::Ranked);
+        let noise_floor = 0.2 * exact.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+        let exact_rank = ranking(&exact);
+        let ranked_rank = ranking(&ranked);
+        let mut ranked_pos = vec![0usize; pool];
+        for (pos, &i) in ranked_rank.iter().enumerate() {
+            ranked_pos[i] = pos;
+        }
+        // Any inversion between points whose Exact logits differ by more
+        // than the floor is a real bug; closer pairs may swap — that is
+        // the documented contract.
+        for (a_pos, &hi) in exact_rank.iter().enumerate() {
+            for &lo in &exact_rank[a_pos + 1..] {
+                let gap = exact[hi] - exact[lo];
+                if gap > noise_floor {
+                    prop_assert!(
+                        ranked_pos[hi] < ranked_pos[lo],
+                        "rank inversion beyond quant floor: point {} (logit {}) \
+                         ranked below point {} (logit {}), gap {} > floor {}",
+                        hi, exact[hi], lo, exact[lo], gap, noise_floor
+                    );
+                }
+            }
+        }
     }
 }
 

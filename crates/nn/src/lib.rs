@@ -28,10 +28,12 @@ pub mod matrix;
 pub mod matrix32;
 pub mod mlp;
 pub mod optimizer;
+pub mod qmatmul;
 
 pub use activation::Activation;
 pub use dense::Dense;
 pub use matrix::Matrix;
-pub use matrix32::Matrix32;
+pub use matrix32::{cpu_features, Epilogue, KernelKind, Matrix32};
 pub use mlp::{Mlp, MlpCache};
 pub use optimizer::{Adam, Sgd};
+pub use qmatmul::{matmul_nt_ranked, QuantizedMat};

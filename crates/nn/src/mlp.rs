@@ -170,7 +170,10 @@ impl Mlp {
     }
 
     /// Single-precision batched forward pass: [`Mlp::forward_batch`] on
-    /// the autovectorized `f32` kernels ([`Dense::forward_batch_f32`]).
+    /// the SIMD `f32` kernels with each layer's bias add and activation
+    /// **fused into the kernel epilogue**
+    /// ([`Dense::forward_batch_f32_act`]) — one sweep per layer output
+    /// instead of three (matmul, bias pass, activation pass).
     /// Use for pool *ranking*, where only the order of outputs matters:
     /// outputs track the `f64` path to within `f32` round-off accumulated
     /// over the layers (see [`lte_nn::matrix32`](crate::matrix32) for the
@@ -183,8 +186,29 @@ impl Mlp {
         assert_eq!(x.cols(), self.in_dim(), "batch input width mismatch");
         let mut cur = None;
         for (layer, act) in self.layers.iter().zip(&self.acts) {
-            let mut z = layer.forward_batch_f32(cur.as_ref().unwrap_or(x));
-            act.apply_slice_f32(z.data_mut());
+            let z = layer.forward_batch_f32_act(cur.as_ref().unwrap_or(x), *act);
+            cur = Some(z);
+        }
+        cur.expect("an MLP has at least one layer")
+    }
+
+    /// i8-quantized batched forward pass (the `Ranked` scoring mode):
+    /// every layer runs [`Dense::forward_batch_ranked`] — per-row absmax
+    /// dynamic quantization of activations and weights, exact `i32`
+    /// accumulation, fused dequant + bias + activation epilogue. Outputs
+    /// are valid for **argmax-order ranking only**; quantization error is
+    /// far outside the `f32` noise floor (see
+    /// [`lte_nn::qmatmul`](crate::qmatmul) for the contract). Each output
+    /// row depends only on its own input row (row-local scales), so
+    /// block-parallel dispatch stays bitwise deterministic.
+    ///
+    /// # Panics
+    /// Panics when `x.cols() != in_dim()`.
+    pub fn forward_batch_ranked(&self, x: &Matrix32) -> Matrix32 {
+        assert_eq!(x.cols(), self.in_dim(), "batch input width mismatch");
+        let mut cur = None;
+        for (layer, act) in self.layers.iter().zip(&self.acts) {
+            let z = layer.forward_batch_ranked(cur.as_ref().unwrap_or(x), *act);
             cur = Some(z);
         }
         cur.expect("an MLP has at least one layer")

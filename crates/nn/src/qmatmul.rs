@@ -1,0 +1,312 @@
+//! Quantized i8 matmul for the argmax-order ranking mode.
+//!
+//! Pool ranking only consumes the *order* of logits (the explore loop
+//! takes the top-scoring candidates; the raw values are discarded), so the
+//! ranked fast path trades the last two decimal digits for bandwidth:
+//! operands are dynamically quantized to `i8` with a **per-row absmax
+//! scale** (`scale = absmax / 127`, `q = round(v / scale)`), products
+//! accumulate in `i32` (exact integer arithmetic — no rounding inside the
+//! k-sum), and each output dequantizes as
+//! `c[i][j] = qsum · a_scale[i] · b_scale[j]` before the usual f32
+//! epilogue.
+//!
+//! Two properties matter for the rest of the stack:
+//!
+//! * **Ranking-only accuracy.** Quantization error is on the order of
+//!   `1%` of each row's dynamic range — far outside the f32 noise floor —
+//!   so `Ranked` results must only ever feed argmax-order decisions, never
+//!   thresholds, calibration, or training. The `lte-core` proptests pin
+//!   rank agreement with the `f64` reference above a `Ranked`-specific
+//!   noise floor.
+//! * **Block-independent determinism.** The scale for row `i` depends only
+//!   on row `i`, and the integer k-sum is exact, so splitting a pool into
+//!   row blocks cannot change any output bit — the same invariant that
+//!   makes the f32 path's parallel dispatch bitwise equal to the serial
+//!   pass carries over unchanged.
+//!
+//! The kernel dispatches to an AVX2 path
+//! (`i8 → i16` widening, `_mm256_madd_epi16` pair-sums, `i32` lanes) when
+//! the CPU supports it, with a portable scalar fallback. Both accumulate
+//! exactly (integers), so they agree **bitwise** on any machine.
+
+use crate::matrix32::{Epilogue, Matrix32};
+
+/// Maximum inner dimension the i32 accumulator provably cannot overflow:
+/// each product is at most `127² = 16129`, so `k ≤ 2³¹ / 16129 ≈ 1.3e5`.
+/// Classifier shapes are `k ≤ a few hundred`; the guard is a debug assert
+/// plus a documented contract, not a hot-path branch.
+pub const MAX_QUANT_K: usize = (i32::MAX as usize) / (127 * 127);
+
+/// A row-major `i8` matrix quantized from a [`Matrix32`] with one absmax
+/// scale per row: `original[i][j] ≈ q[i][j] · scale[i]`.
+#[derive(Debug, Clone)]
+pub struct QuantizedMat {
+    rows: usize,
+    cols: usize,
+    q: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedMat {
+    /// Dynamically quantize `m` with a per-row absmax scale. An all-zero
+    /// row gets scale `0` (its quantized values are all zero, and every
+    /// product through it dequantizes to exactly `0.0`).
+    pub fn quantize(m: &Matrix32) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        debug_assert!(cols <= MAX_QUANT_K, "k too large for i32 accumulation");
+        let mut q = vec![0i8; rows * cols];
+        let mut scales = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = m.row(r);
+            let absmax = row.iter().fold(0.0f32, |mx, &v| mx.max(v.abs()));
+            if absmax > 0.0 {
+                scales[r] = absmax / 127.0;
+                let inv = 127.0 / absmax;
+                for (dst, &v) in q[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+                    // |v·inv| ≤ 127, so the saturating `as` cast is exact.
+                    *dst = (v * inv).round() as i8;
+                }
+            }
+        }
+        Self {
+            rows,
+            cols,
+            q,
+            scales,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Quantized row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[i8] {
+        debug_assert!(r < self.rows);
+        &self.q[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Dequantization scale for row `r`.
+    #[inline]
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+}
+
+/// `C = act(dequant(Aq·Bqᵀ) + bias)`: the quantized counterpart of
+/// [`Matrix32::matmul_nt_ep`]. `A` is `n × k`, `B` is `m × k`, and
+/// `C[i][j] = act(qsum(i, j) · a.scale(i) · b.scale(j) + bias[j])` with an
+/// exact `i32` integer k-sum.
+///
+/// Every output row depends only on its own input row (row-local scales,
+/// exact integer sums), so block-parallel dispatch is bitwise identical to
+/// the serial pass — and the AVX2 and scalar kernels agree bitwise too.
+///
+/// # Panics
+/// Panics when the inner dimensions disagree or the epilogue bias width
+/// differs from `b.rows()`.
+pub fn matmul_nt_q(a: &QuantizedMat, b: &QuantizedMat, ep: Epilogue<'_>) -> Matrix32 {
+    assert_eq!(
+        a.cols, b.cols,
+        "quantized matmul_nt inner dimension mismatch"
+    );
+    if let Some(bias) = ep.bias {
+        assert_eq!(bias.len(), b.rows, "epilogue bias width mismatch");
+    }
+    let (n, m) = (a.rows, b.rows);
+    let mut out = Matrix32::zeros(n, m);
+    if n == 0 || m == 0 {
+        return out;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence was just verified at runtime.
+        mm_loop(a, b, &mut out, ep, |x, y| unsafe { dot_i8_avx2(x, y) });
+        return out;
+    }
+    mm_loop(a, b, &mut out, ep, dot_i8_scalar);
+    out
+}
+
+/// The shared outer loop: one integer dot per output, dequantized and run
+/// through the epilogue. Generic over the dot kernel so the AVX2 and
+/// scalar paths share every non-kernel instruction.
+fn mm_loop(
+    a: &QuantizedMat,
+    b: &QuantizedMat,
+    out: &mut Matrix32,
+    ep: Epilogue<'_>,
+    dot: impl Fn(&[i8], &[i8]) -> i32,
+) {
+    let n = a.rows;
+    for i in 0..n {
+        let arow = a.row(i);
+        let sa = a.scale(i);
+        let orow = out.row_mut(i);
+        for (j, o) in orow.iter_mut().enumerate() {
+            let qsum = dot(arow, b.row(j));
+            let mut v = qsum as f32 * (sa * b.scale(j));
+            if let Some(bias) = ep.bias {
+                v += bias[j];
+            }
+            *o = ep.activation.apply_f32(v);
+        }
+    }
+}
+
+/// Exact scalar i8·i8 → i32 dot product.
+#[inline]
+fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| x as i32 * y as i32)
+        .sum::<i32>()
+}
+
+/// AVX2 i8 dot product: 16 bytes per step, widened to `i16` lanes
+/// (`_mm256_cvtepi8_epi16`), pair-summed into `i32` lanes
+/// (`_mm256_madd_epi16` — exact: `i16` products fit `i32`), reduced once
+/// at the end. Integer arithmetic is associative, so this is bitwise
+/// identical to [`dot_i8_scalar`].
+///
+/// # Safety
+/// The CPU must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let k = a.len();
+    let mut acc = _mm256_setzero_si256();
+    let mut kk = 0;
+    while kk + 16 <= k {
+        let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(kk) as *const __m128i));
+        let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(kk) as *const __m128i));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+        kk += 16;
+    }
+    let mut lanes = [0i32; 8];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut s: i32 = lanes.iter().sum();
+    while kk < k {
+        s += *a.get_unchecked(kk) as i32 * *b.get_unchecked(kk) as i32;
+        kk += 1;
+    }
+    s
+}
+
+/// Quantize both operands and multiply: the one-call form used by the
+/// `Ranked` forward path (`A` is the activations batch, `B` the weights).
+pub fn matmul_nt_ranked(a: &Matrix32, b: &Matrix32, ep: Epilogue<'_>) -> Matrix32 {
+    matmul_nt_q(&QuantizedMat::quantize(a), &QuantizedMat::quantize(b), ep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::matrix::Matrix;
+
+    fn test_pair(n: usize, m: usize, k: usize) -> (Matrix32, Matrix32) {
+        let a = Matrix32::from_f64(&Matrix::from_fn(n, k, |r, c| {
+            ((r * 31 + c * 17) as f64).sin() * (1.0 + r as f64)
+        }));
+        let b = Matrix32::from_f64(&Matrix::from_fn(m, k, |r, c| {
+            ((r * 13 + c * 7) as f64).cos() * 0.5
+        }));
+        (a, b)
+    }
+
+    #[test]
+    fn quantize_bounds_and_round_trip() {
+        let m = Matrix32::from_rows(&[vec![1.0, -2.0, 0.5], vec![0.0, 0.0, 0.0]], 3);
+        let q = QuantizedMat::quantize(&m);
+        assert_eq!((q.rows(), q.cols()), (2, 3));
+        // Row 0: absmax 2.0 → scale 2/127; the absmax element hits ±127.
+        assert_eq!(q.row(0)[1], -127);
+        assert!((q.scale(0) - 2.0 / 127.0).abs() < 1e-9);
+        for (&qv, &v) in q.row(0).iter().zip(m.row(0)) {
+            assert!((qv as f32 * q.scale(0) - v).abs() <= q.scale(0) * 0.5 + 1e-6);
+        }
+        // All-zero row: scale 0, all-zero quants.
+        assert_eq!(q.scale(1), 0.0);
+        assert!(q.row(1).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn quantized_matmul_tracks_f32_within_quant_error() {
+        for (n, m, k) in [(1, 1, 1), (3, 5, 7), (8, 9, 16), (5, 33, 64), (2, 17, 40)] {
+            let (a, b) = test_pair(n, m, k);
+            let exact = a.matmul_nt(&b);
+            let ranked = matmul_nt_ranked(&a, &b, Epilogue::none());
+            // Each operand's quantization error is ≤ scale/2 per element;
+            // the dot accumulates ≤ k·(|a|·eb + |b|·ea) of it.
+            for i in 0..n {
+                let ea = QuantizedMat::quantize(&a).scale(i) * 0.5;
+                for j in 0..m {
+                    let eb = QuantizedMat::quantize(&b).scale(j) * 0.5;
+                    let amax = a.row(i).iter().fold(0.0f32, |mx, &v| mx.max(v.abs()));
+                    let bmax = b.row(j).iter().fold(0.0f32, |mx, &v| mx.max(v.abs()));
+                    let tol = (k as f32) * (amax * eb + bmax * ea) + 1e-6;
+                    let (x, y) = (exact.row(i)[j], ranked.row(i)[j]);
+                    assert!((x - y).abs() <= tol, "{n}x{m}x{k} [{i}][{j}]: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_and_scalar_dots_agree_bitwise() {
+        for k in [0, 1, 15, 16, 17, 40, 64, 100] {
+            let a: Vec<i8> = (0..k).map(|i| ((i * 37 + 11) % 255) as i8).collect();
+            let b: Vec<i8> = (0..k).map(|i| ((i * 91 + 5) % 255) as i8).collect();
+            let scalar = dot_i8_scalar(&a, &b);
+            #[cfg(target_arch = "x86_64")]
+            if is_x86_feature_detected!("avx2") {
+                // SAFETY: guarded by the feature check above.
+                let simd = unsafe { dot_i8_avx2(&a, &b) };
+                assert_eq!(simd, scalar, "k={k}");
+            }
+            // Cross-check against a naive i64 sum (no overflow possible).
+            let wide: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
+            assert_eq!(scalar as i64, wide, "k={k}");
+        }
+    }
+
+    #[test]
+    fn epilogue_applies_after_dequant() {
+        let a = Matrix32::from_rows(&[vec![1.0, 1.0]], 2);
+        let b = Matrix32::from_rows(&[vec![1.0, 1.0], vec![-1.0, -1.0]], 2);
+        let bias = [0.25f32, 0.25];
+        let z = matmul_nt_ranked(&a, &b, Epilogue::new(&bias, Activation::Relu));
+        // Exactly representable values quantize exactly: 2 + 0.25 and
+        // relu(-2 + 0.25).
+        assert_eq!(z.row(0), &[2.25f32, 0.0]);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let a = Matrix32::zeros(0, 4);
+        let b = Matrix32::zeros(3, 4);
+        let z = matmul_nt_ranked(&a, &b, Epilogue::none());
+        assert_eq!((z.rows(), z.cols()), (0, 3));
+        let z = matmul_nt_ranked(&b, &a, Epilogue::none());
+        assert_eq!((z.rows(), z.cols()), (3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn checks_inner_dims() {
+        let a = QuantizedMat::quantize(&Matrix32::zeros(2, 3));
+        let b = QuantizedMat::quantize(&Matrix32::zeros(2, 4));
+        matmul_nt_q(&a, &b, Epilogue::none());
+    }
+}

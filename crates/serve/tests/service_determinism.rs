@@ -6,7 +6,7 @@
 //! 1 worker == N workers, bounded capacity == unbounded, and sharded ==
 //! each shard solo.
 
-use lte_core::config::LteConfig;
+use lte_core::config::{LteConfig, ScoringPrecision};
 use lte_core::explore::Variant;
 use lte_core::pipeline::{LtePipeline, UirOutcome};
 use lte_core::uis::UisMode;
@@ -114,6 +114,45 @@ fn service_outcomes_are_identical_at_one_and_four_workers() {
             service_bytes(a),
             service_bytes(b),
             "session {} diverged between 1 and 4 workers",
+            a.id
+        );
+    }
+}
+
+#[test]
+fn ranked_precision_serves_deterministically_across_worker_counts() {
+    // `ScoringPrecision::Ranked` flows from the pipeline config straight
+    // through the service's fused scoring path (no serve-side switch), so
+    // the worker-sweep determinism contract must hold for it too.
+    let table = generate_sdss(3000, 0);
+    let pool: Vec<Vec<f64>> = (0..300).map(|i| table.row(i).unwrap()).collect();
+    let mut cfg = LteConfig::reduced();
+    cfg.train.n_tasks = 60;
+    cfg.train.epochs = 1;
+    cfg.online.precision = ScoringPrecision::Ranked;
+    let (pipeline, _) = LtePipeline::offline(&table, decompose_sequential(4, 2), cfg, 11);
+    let pipeline = Arc::new(pipeline);
+
+    let engine = SessionEngine::with_workers(Arc::clone(&pipeline), 1);
+    let requests = engine.simulate_requests(6, UisMode::new(1, 10), 0.2, 0.9, Variant::Meta, 23);
+
+    let run = |workers: usize| {
+        let mut service = ScoringService::new(workers);
+        service.add_shard("sdss", Arc::clone(&pipeline), pool.clone());
+        for req in requests.clone() {
+            service.submit("sdss", req);
+        }
+        service.run_until_idle();
+        service.take_completed()
+    };
+    let done_1 = run(1);
+    let done_4 = run(4);
+    assert_eq!(done_1.len(), 6);
+    for (a, b) in done_1.iter().zip(&done_4) {
+        assert_eq!(
+            service_bytes(a),
+            service_bytes(b),
+            "ranked session {} diverged between 1 and 4 workers",
             a.id
         );
     }

@@ -68,6 +68,7 @@ pub mod prelude {
     pub use lte_data::subspace::{decompose_random, decompose_sequential, Subspace};
     pub use lte_data::{Dataset, Table};
     pub use lte_geom::{Region, RegionUnion};
+    pub use lte_nn::{cpu_features, Epilogue, KernelKind};
     pub use lte_serve::{
         AdmissionState, Cohort, RoutedSession, ScenarioConfig, ScenarioReport, ScoringService,
         ScoringServiceBuilder, ServiceOutcome, SessionEngine, SessionOutcome, SessionRequest,

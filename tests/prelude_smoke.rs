@@ -44,6 +44,8 @@ fn prelude_types_resolve(
     _score_request: ScoreRequest,
     _builder: ScoringServiceBuilder,
     _routed_session: RoutedSession,
+    _epilogue: Epilogue<'_>,
+    _kernel: KernelKind,
 ) {
 }
 
@@ -91,4 +93,25 @@ fn prelude_smoke_tiny_workflow() {
         MetaFeatures::from_values(&[0.3, 0.8, 1.5, 0.0, 0.4, 2.0]).expect("six features");
     assert_eq!(features.distance(&features), 0.0);
     assert!(features.deltas(&features).iter().all(|d| d.delta == 0.0));
+}
+
+#[test]
+fn prelude_kernel_surface_is_coherent() {
+    // Every scoring precision — including the ranking-only quantized
+    // mode — is nameable from the prelude, and the detected kernel is one
+    // the host actually supports with a matching feature string.
+    let _ = [
+        ScoringPrecision::Exact,
+        ScoringPrecision::Fast,
+        ScoringPrecision::Ranked,
+    ];
+    let kind = KernelKind::detect();
+    assert!(kind.supported());
+    let features = cpu_features();
+    assert!(features.contains("sse2") || kind == KernelKind::Portable);
+    match kind {
+        KernelKind::Avx512f => assert!(features.contains("avx512f")),
+        KernelKind::Avx2Fma => assert!(features.contains("avx2")),
+        KernelKind::Portable => {}
+    }
 }
